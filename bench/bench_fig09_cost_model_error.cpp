@@ -1,0 +1,47 @@
+// Fig. 9 — Error rate of the cost model across the 24 standard workloads:
+// (T_DIDO - T_Model) / T_DIDO, where T_DIDO is the measured throughput of
+// the executed system and T_Model the analytic prediction.
+//
+// Paper reference: maximum error 14.2%, average 7.7%.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "costmodel/cost_model.h"
+
+using namespace dido;
+
+int main() {
+  bench::SetupBenchLogging();
+  bench::PrintHeader("Fig. 9", "Cost-model error rate per workload");
+
+  const ExperimentOptions experiment = bench::DefaultExperiment();
+  CostModel model(ExperimentSpec(experiment), CostModelOptions());
+
+  std::printf("%-14s %12s %12s %10s\n", "workload", "measured", "predicted",
+              "error(%)");
+  double total_abs = 0.0;
+  double max_abs = 0.0;
+  int count = 0;
+  for (const WorkloadSpec& workload : StandardWorkloadMatrix()) {
+    const SystemMeasurement measured = MeasureDido(workload, experiment);
+    const size_t stages =
+        measured.config.Stages(4).size();
+    const Prediction predicted = model.Predict(
+        measured.config, measured.representative.measured_profile,
+        SchedulingIntervalUs(experiment.latency_cap_us, stages));
+    const double error =
+        (measured.throughput_mops - predicted.throughput_mops) /
+        measured.throughput_mops;
+    std::printf("%-14s %12.2f %12.2f %+10.1f\n", workload.Name().c_str(),
+                measured.throughput_mops, predicted.throughput_mops,
+                100.0 * error);
+    total_abs += std::fabs(error);
+    max_abs = std::max(max_abs, std::fabs(error));
+    ++count;
+  }
+  std::printf("average |error| = %.1f%%   max |error| = %.1f%%\n",
+              100.0 * total_abs / count, 100.0 * max_abs);
+  bench::PrintFooter("paper: average error 7.7%, maximum 14.2%");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 11 — Throughput improvement of DIDO over Mega-KV (Coupled) across
+// the full 24-workload matrix.
+//
+// Paper reference: up to 3.0x, 81% faster on average; improvements shrink
+// with key-value size (K8 166%, K16 95%, K32 40%, K128 23%), are largest
+// for 95% GET (146%), and larger for uniform (90%) than skewed (71%).
+
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace dido;
+
+int main() {
+  bench::SetupBenchLogging();
+  bench::PrintHeader("Fig. 11", "DIDO speedup over Mega-KV (Coupled)");
+
+  const ExperimentOptions experiment = bench::DefaultExperiment();
+
+  std::printf("%-14s %12s %12s %10s  %s\n", "workload", "megakv", "dido",
+              "speedup", "dido pipeline");
+  std::map<std::string, std::pair<double, int>> by_dataset;
+  std::map<int, std::pair<double, int>> by_ratio;
+  std::map<char, std::pair<double, int>> by_dist;
+  double total = 0.0;
+  double max_speedup = 0.0;
+  int count = 0;
+  for (const WorkloadSpec& workload : StandardWorkloadMatrix()) {
+    const SystemMeasurement megakv =
+        MeasureMegaKvCoupled(workload, experiment);
+    const SystemMeasurement dido = MeasureDido(workload, experiment);
+    const double speedup = dido.throughput_mops / megakv.throughput_mops;
+    std::printf("%-14s %12.2f %12.2f %10.2f  %s\n", workload.Name().c_str(),
+                megakv.throughput_mops, dido.throughput_mops, speedup,
+                dido.config.ToString().c_str());
+    auto& d = by_dataset[workload.dataset.name];
+    d.first += speedup;
+    d.second += 1;
+    auto& r = by_ratio[static_cast<int>(workload.get_ratio * 100 + 0.5)];
+    r.first += speedup;
+    r.second += 1;
+    auto& k = by_dist[workload.distribution == KeyDistribution::kZipf ? 'S'
+                                                                      : 'U'];
+    k.first += speedup;
+    k.second += 1;
+    total += speedup;
+    max_speedup = std::max(max_speedup, speedup);
+    ++count;
+  }
+  std::printf("\naverage speedup %.2fx, max %.2fx\n", total / count,
+              max_speedup);
+  for (const auto& [name, acc] : by_dataset) {
+    std::printf("  by dataset %-5s : %.2fx\n", name.c_str(),
+                acc.first / acc.second);
+  }
+  for (const auto& [pct, acc] : by_ratio) {
+    std::printf("  by GET%%   %-5d : %.2fx\n", pct, acc.first / acc.second);
+  }
+  for (const auto& [dist, acc] : by_dist) {
+    std::printf("  by dist   %-5c : %.2fx\n", dist, acc.first / acc.second);
+  }
+  bench::PrintFooter(
+      "paper: avg 1.81x (81%), max 3.0x; K8 2.66x > K16 1.95x > K32 1.40x > "
+      "K128 1.23x; G95 2.46x > G100 1.71x > G50 1.26x; uniform > skewed");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 13 — Flexible index operation assignment in isolation: the pipeline
+// partitioning is pinned to Mega-KV's ([RV,PP,MM]cpu|[IN]gpu|[KC,RD,WR,SD]
+// cpu, no work stealing), and only the Search/Insert/Delete placement is
+// chosen by the cost model.  Baseline: all index operations on the GPU.
+//
+// Paper reference: consistent improvement across the 14 non-100%-GET
+// workloads, 37% on average — 56% for 95% GET, 10% for 50% GET.
+
+#include "bench/bench_util.h"
+#include "costmodel/config_search.h"
+
+using namespace dido;
+
+int main() {
+  bench::SetupBenchLogging();
+  bench::PrintHeader("Fig. 13",
+                     "Speedup from flexible index operation assignment");
+
+  // The benefit of moving Insert/Delete off the GPU depends on whether the
+  // GPU index stage is the binding constraint.  At the paper's 1000 us
+  // budget our calibrated GPU has slack in Mega-KV's partitioning, so the
+  // effect is small; at a tight 300 us budget the per-kernel launch
+  // overheads dominate the smaller batches and the GPU stage binds — the
+  // regime the paper's 37% average reflects.
+  for (const Micros latency_cap : {1000.0, 300.0}) {
+    ExperimentOptions experiment = bench::DefaultExperiment();
+    experiment.latency_cap_us = latency_cap;
+    CostModel model(ExperimentSpec(experiment), CostModelOptions());
+
+    std::printf("--- latency budget %.0f us ---\n", latency_cap);
+    std::printf("%-14s %12s %12s %10s %18s\n", "workload", "all-gpu",
+                "flexible", "speedup", "chosen ins/del");
+    double sum95 = 0.0;
+    double sum50 = 0.0;
+    int n95 = 0;
+    int n50 = 0;
+    for (const WorkloadSpec& workload : StandardWorkloadMatrix()) {
+      const int pct = static_cast<int>(workload.get_ratio * 100 + 0.5);
+      if (pct == 100) continue;  // no index updates to reassign
+
+      // Baseline: Mega-KV pipeline, all index ops on the GPU.
+      PipelineConfig baseline = PipelineConfig::MegaKv();
+      const SystemMeasurement base =
+          MeasureFixedConfig(workload, baseline, experiment);
+
+      // Flexible assignment: cost model picks ins/del placement on the
+      // same pinned partitioning.
+      SearchOptions search;
+      search.latency_cap_us = experiment.latency_cap_us;
+      search.fix_megakv_partitioning = true;
+      search.work_stealing = false;
+      const SearchResult chosen = FindOptimalConfig(
+          model, base.representative.measured_profile, search);
+      PipelineConfig flexible = chosen.best.config;
+      flexible.static_cpu_assignment = true;  // keep Mega-KV's thread layout
+      const SystemMeasurement flex =
+          MeasureFixedConfig(workload, flexible, experiment);
+
+      const double speedup = flex.throughput_mops / base.throughput_mops;
+      std::printf("%-14s %12.2f %12.2f %10.2f %12s/%s\n",
+                  workload.Name().c_str(), base.throughput_mops,
+                  flex.throughput_mops, speedup,
+                  flexible.insert_device == Device::kCpu ? "cpu" : "gpu",
+                  flexible.delete_device == Device::kCpu ? "cpu" : "gpu");
+      if (pct == 95) {
+        sum95 += speedup;
+        ++n95;
+      } else {
+        sum50 += speedup;
+        ++n50;
+      }
+    }
+    std::printf("average speedup: 95%% GET %.2fx, 50%% GET %.2fx\n\n",
+                sum95 / std::max(1, n95), sum50 / std::max(1, n50));
+  }
+  bench::PrintFooter(
+      "paper: avg 1.37x across the 14 workloads; 1.56x for 95% GET vs 1.10x "
+      "for 50% GET (MM load limits the CPU-side headroom).  In this "
+      "reproduction the effect appears once the GPU index stage binds "
+      "(tight latency budgets); see EXPERIMENTS.md");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 17 — Price-performance ratio (KOPS per USD).  The discrete testbed's
+// processors cost ~25x the APU (paper Section V-E).
+//
+// Paper reference: DIDO beats Mega-KV (Discrete) by 1.1x-4.3x on KOPS/USD
+// for all twelve workloads.
+
+#include "bench/bench_util.h"
+
+using namespace dido;
+
+int main() {
+  bench::SetupBenchLogging();
+  bench::PrintHeader("Fig. 17", "Price-performance ratio (KOPS/USD)");
+
+  const DiscreteSystemSpec discrete = DefaultDiscreteSpec();
+  std::printf("platform prices: APU $%.0f, discrete $%.0f (%.0fx)\n\n",
+              kApuPriceUsd, discrete.system_price_usd,
+              discrete.system_price_usd / kApuPriceUsd);
+  std::printf("%-14s %16s %16s %12s\n", "workload", "dido(kops/$)",
+              "discrete(kops/$)", "dido adv.");
+  double min_adv = 1e30;
+  double max_adv = 0.0;
+  for (const WorkloadSpec& workload : bench::DiscreteComparisonWorkloads()) {
+    ExperimentOptions experiment = bench::DefaultExperiment();
+    experiment.network_io = workload.dataset.key_size == 8;
+    const SystemMeasurement dido = MeasureDido(workload, experiment);
+    const double discrete_mops =
+        MegaKvDiscretePaperMops(workload.Name()).value_or(0.0);
+    const double dido_kops_usd =
+        dido.throughput_mops * 1000.0 / kApuPriceUsd;
+    const double discrete_kops_usd =
+        discrete_mops * 1000.0 / discrete.system_price_usd;
+    const double advantage = dido_kops_usd / discrete_kops_usd;
+    std::printf("%-14s %16.1f %16.1f %11.2fx\n", workload.Name().c_str(),
+                dido_kops_usd, discrete_kops_usd, advantage);
+    min_adv = std::min(min_adv, advantage);
+    max_adv = std::max(max_adv, advantage);
+  }
+  std::printf("DIDO price-performance advantage: %.1fx - %.1fx\n", min_adv,
+              max_adv);
+  bench::PrintFooter("paper: DIDO wins on every workload, by 1.1x-4.3x");
+  return 0;
+}

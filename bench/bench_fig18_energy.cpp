@@ -1,0 +1,46 @@
+// Fig. 18 — Energy efficiency (KOPS per Watt), using the paper's
+// back-of-envelope TDP numbers: 95 W for the APU vs 95 + 2x250 W for the
+// discrete testbed's processors.
+//
+// Paper reference: inconclusive overall — the discrete system wins for
+// 8-byte and 128-byte keys (by 69%-225%), DIDO wins for 16-byte keys (by
+// 18%-26%).
+
+#include "bench/bench_util.h"
+
+using namespace dido;
+
+int main() {
+  bench::SetupBenchLogging();
+  bench::PrintHeader("Fig. 18", "Energy efficiency (KOPS/Watt)");
+
+  const DiscreteSystemSpec discrete = DefaultDiscreteSpec();
+  std::printf("TDP: APU %.0f W, discrete %.0f W\n\n", kApuTdpWatts,
+              discrete.tdp_watts);
+  std::printf("%-14s %16s %16s %12s\n", "workload", "dido(kops/W)",
+              "discrete(kops/W)", "winner");
+  int dido_wins = 0;
+  int discrete_wins = 0;
+  for (const WorkloadSpec& workload : bench::DiscreteComparisonWorkloads()) {
+    ExperimentOptions experiment = bench::DefaultExperiment();
+    experiment.network_io = workload.dataset.key_size == 8;
+    const SystemMeasurement dido = MeasureDido(workload, experiment);
+    const double discrete_mops =
+        MegaKvDiscretePaperMops(workload.Name()).value_or(0.0);
+    const double dido_kops_w = dido.throughput_mops * 1000.0 / kApuTdpWatts;
+    const double discrete_kops_w =
+        discrete_mops * 1000.0 / discrete.tdp_watts;
+    const bool dido_better = dido_kops_w > discrete_kops_w;
+    std::printf("%-14s %16.1f %16.1f %12s\n", workload.Name().c_str(),
+                dido_kops_w, discrete_kops_w,
+                dido_better ? "DIDO" : "discrete");
+    (dido_better ? dido_wins : discrete_wins) += 1;
+  }
+  std::printf("wins: DIDO %d, discrete %d (of 12)\n", dido_wins,
+              discrete_wins);
+  bench::PrintFooter(
+      "paper: split verdict — discrete wins K8/K128 (69-225%), DIDO wins "
+      "K16 (18-26%); 'it is still inconclusive which system is more energy "
+      "efficient'");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 21 — Impact of workload fluctuation: DIDO's speedup over Mega-KV
+// (Coupled) when the workload alternates between K8-G50-U and K16-G95-S
+// with cycle lengths from 2 ms to 256 ms.
+//
+// Paper reference: speedup 1.58x at a 2 ms cycle, rising to ~1.79x for
+// cycles of 64 ms and beyond — the ~1 ms re-planning transient is amortized
+// once fluctuation is gentle.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+using namespace dido;
+
+namespace {
+
+// Runs `store_serve` over alternating traffic for `duration_us` of
+// simulated time; returns average throughput in Mops.
+template <typename ServeFn>
+double RunAlternating(ServeFn&& serve, TrafficSource& a, TrafficSource& b,
+                      double phase_us, double duration_us) {
+  double now = 0.0;
+  double queries = 0.0;
+  while (now < duration_us) {
+    const bool phase_a = std::fmod(now, 2.0 * phase_us) < phase_us;
+    const BatchResult result = serve(phase_a ? a : b);
+    now += result.t_max;
+    queries += static_cast<double>(result.batch_size);
+  }
+  return queries / now;
+}
+
+}  // namespace
+
+int main() {
+  bench::SetupBenchLogging();
+  bench::PrintHeader("Fig. 21", "Speedup vs. workload alternation cycle");
+
+  ExperimentOptions experiment = bench::DefaultExperiment();
+
+  std::printf("%-12s %12s %12s %10s\n", "cycle(ms)", "dido(mops)",
+              "megakv(mops)", "speedup");
+  for (double cycle_ms : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+    const double phase_us = cycle_ms * 1000.0;
+    // Cover at least one full A-B alternation (and several for short
+    // cycles) so both workloads contribute at every cycle length.
+    const double duration_us =
+        std::max(std::min(4.0 * phase_us, 120000.0), 2.0 * phase_us);
+
+    auto build_sessions = [&](auto& store, WorkloadSession*& sa,
+                              WorkloadSession*& sb) {
+      const uint64_t k8 = store.Preload(
+          DatasetK8(),
+          PreloadTarget(DatasetK8(), experiment.arena_bytes / 2, 0.8));
+      const uint64_t k16 = store.Preload(
+          DatasetK16(),
+          PreloadTarget(DatasetK16(), experiment.arena_bytes / 2, 0.8));
+      sa = new WorkloadSession(
+          MakeWorkload(DatasetK8(), 50, KeyDistribution::kUniform), k8, 1);
+      sb = new WorkloadSession(
+          MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf), k16, 2);
+    };
+
+    DidoOptions options = MakeExperimentOptions(
+        MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf), experiment);
+    DidoStore dido(options, ExperimentSpec(experiment));
+    WorkloadSession* da = nullptr;
+    WorkloadSession* db = nullptr;
+    build_sessions(dido, da, db);
+    const double dido_mops = RunAlternating(
+        [&](TrafficSource& src) { return dido.ServeBatch(src, 2500); },
+        *da->source, *db->source, phase_us, duration_us);
+
+    MegaKvStore megakv(options, ExperimentSpec(experiment));
+    WorkloadSession* ma = nullptr;
+    WorkloadSession* mb = nullptr;
+    build_sessions(megakv, ma, mb);
+    const double megakv_mops = RunAlternating(
+        [&](TrafficSource& src) { return megakv.ServeBatch(src, 2500); },
+        *ma->source, *mb->source, phase_us, duration_us);
+
+    std::printf("%-12.0f %12.2f %12.2f %10.2f\n", cycle_ms, dido_mops,
+                megakv_mops, dido_mops / megakv_mops);
+    delete da;
+    delete db;
+    delete ma;
+    delete mb;
+  }
+  bench::PrintFooter(
+      "paper: 1.58x at 2 ms rising to 1.79x at 64+ ms — the re-planning "
+      "transient becomes negligible for gentle fluctuation");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Wall-clock micro-benchmarks (google-benchmark) of the substrate the
+// simulated pipeline executes for real: hashing, cuckoo index operations,
+// slab allocation, the wire codec and the Zipf generator.  These are not
+// figure reproductions — they document the host-side cost of the library.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "index/cuckoo_hash_table.h"
+#include "mem/slab_allocator.h"
+#include "net/codec.h"
+#include "workload/workload.h"
+
+namespace dido {
+namespace {
+
+void BM_Hash64(benchmark::State& state) {
+  const std::string key(static_cast<size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(key));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(8)->Arg(16)->Arg(32)->Arg(128);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator zipf(1 << 20, 0.99);
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_SlabAllocateFree(benchmark::State& state) {
+  SlabAllocator::Options options;
+  options.arena_bytes = 64 << 20;
+  SlabAllocator allocator(options);
+  const std::string key(16, 'k');
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  for (auto _ : state) {
+    Result<KvObject*> object = allocator.Allocate(key, value, 0, nullptr);
+    benchmark::DoNotOptimize(object.ok());
+    allocator.Free(*object);
+  }
+}
+BENCHMARK(BM_SlabAllocateFree)->Arg(8)->Arg(64)->Arg(1024);
+
+class CuckooFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (table) return;
+    SlabAllocator::Options slab;
+    slab.arena_bytes = 64 << 20;
+    pool = std::make_unique<SlabAllocator>(slab);
+    CuckooHashTable::Options options;
+    options.num_buckets = 1 << 16;
+    table = std::make_unique<CuckooHashTable>(options);
+    keys.reserve(200000);
+    for (int i = 0; i < 200000; ++i) {
+      keys.push_back("key" + std::to_string(i));
+      Result<KvObject*> object = pool->Allocate(keys.back(), "v", 0, nullptr);
+      table->Insert(CuckooHashTable::HashKey(keys.back()), *object, nullptr)
+          .ok();
+    }
+  }
+
+  std::unique_ptr<SlabAllocator> pool;
+  std::unique_ptr<CuckooHashTable> table;
+  std::vector<std::string> keys;
+};
+
+BENCHMARK_F(CuckooFixture, Search)(benchmark::State& state) {
+  Random rng(7);
+  for (auto _ : state) {
+    const std::string& key = keys[rng.NextBounded(keys.size())];
+    benchmark::DoNotOptimize(
+        table->SearchVerified(CuckooHashTable::HashKey(key), key));
+  }
+}
+
+BENCHMARK_F(CuckooFixture, InsertReplace)(benchmark::State& state) {
+  Random rng(7);
+  for (auto _ : state) {
+    const std::string& key = keys[rng.NextBounded(keys.size())];
+    Result<KvObject*> object = pool->Allocate(key, "w", 0, nullptr);
+    KvObject* replaced = nullptr;
+    table->Insert(CuckooHashTable::HashKey(key), *object, &replaced).ok();
+    if (replaced != nullptr) pool->Free(replaced);
+  }
+}
+
+void BM_CodecEncodeDecode(benchmark::State& state) {
+  const std::string key(16, 'k');
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  std::vector<uint8_t> buffer;
+  for (auto _ : state) {
+    buffer.clear();
+    EncodeRequest(QueryOp::kSet, key, value, &buffer);
+    size_t offset = 0;
+    RequestView view;
+    benchmark::DoNotOptimize(
+        DecodeRequest(buffer.data(), buffer.size(), &offset, &view).ok());
+  }
+}
+BENCHMARK(BM_CodecEncodeDecode)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_WorkloadGenerator(benchmark::State& state) {
+  WorkloadSpec spec = MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf);
+  WorkloadGenerator generator(spec, 1 << 20, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Next());
+  }
+}
+BENCHMARK(BM_WorkloadGenerator);
+
+}  // namespace
+}  // namespace dido
+
+BENCHMARK_MAIN();

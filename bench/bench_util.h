@@ -1,0 +1,63 @@
+#ifndef DIDO_BENCH_BENCH_UTIL_H_
+#define DIDO_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction benchmarks.  Each bench binary
+// regenerates one table/figure of the DIDO paper (see DESIGN.md section 4)
+// and prints the series in a fixed-width table with the paper's reference
+// values alongside where applicable.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/system_runner.h"
+
+namespace dido {
+namespace bench {
+
+inline void PrintHeader(const std::string& figure, const std::string& title) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void PrintFooter(const std::string& note) {
+  if (!note.empty()) std::printf("note: %s\n", note.c_str());
+  std::printf("\n");
+}
+
+// The twelve workloads Fig. 16-18 report (no 50%-GET points; K32 excluded
+// because the paper's K32 value size differs from ours there).
+inline std::vector<WorkloadSpec> DiscreteComparisonWorkloads() {
+  std::vector<WorkloadSpec> out;
+  for (const DatasetSpec* dataset :
+       {&DatasetK8(), &DatasetK16(), &DatasetK128()}) {
+    for (int pct : {100, 95}) {
+      for (KeyDistribution dist :
+           {KeyDistribution::kUniform, KeyDistribution::kZipf}) {
+        out.push_back(MakeWorkload(*dataset, pct, dist));
+      }
+    }
+  }
+  return out;
+}
+
+// Standard bench-wide experiment options (kept small enough that the whole
+// harness reruns in minutes).
+inline ExperimentOptions DefaultExperiment() {
+  ExperimentOptions experiment;
+  experiment.arena_bytes = 32ull << 20;
+  experiment.measure_batches = 5;
+  return experiment;
+}
+
+inline int SetupBenchLogging() {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace dido
+
+#endif  // DIDO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+// Example: exploring the APU-aware cost model from the command line.
+//
+//   ./cost_model_explorer [workload] [latency_us]
+//
+// e.g. ./cost_model_explorer K16-G95-S 1000
+//
+// Prints the predicted throughput of every pipeline partitioning and index
+// operation assignment in DIDO's search space for the given workload —
+// the whole table the adaptation mechanism reduces to an argmax at runtime.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "costmodel/config_search.h"
+#include "core/system_runner.h"
+
+using namespace dido;
+
+int main(int argc, char** argv) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+
+  std::string name = argc > 1 ? argv[1] : "K16-G95-S";
+  const double latency_us = argc > 2 ? std::atof(argv[2]) : 1000.0;
+  WorkloadSpec workload;
+  if (!ParseWorkloadName(name, &workload)) {
+    std::fprintf(stderr,
+                 "usage: %s [K8|K16|K32|K128]-G[100|95|50]-[U|S] "
+                 "[latency_us]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  // Profile the workload on a real store so the model sees measured
+  // characteristics (probe counts, hit ratio, packing density).
+  ExperimentOptions experiment;
+  experiment.arena_bytes = 32ull << 20;
+  experiment.latency_cap_us = latency_us;
+  DidoOptions options = MakeExperimentOptions(workload, experiment);
+  options.adaptive = false;
+  DidoStore store(options, ExperimentSpec(experiment));
+  const uint64_t objects = store.Preload(
+      workload.dataset,
+      PreloadTarget(workload.dataset, experiment.arena_bytes, 0.8));
+  WorkloadSession session(workload, objects, 7);
+  const BatchResult probe = store.ServeBatch(*session.source, 2048);
+
+  std::printf("workload %s  (measured: GET %.0f%%, hit %.0f%%, "
+              "%.0fB/%.0fB, %lu objects)\n",
+              name.c_str(), 100.0 * probe.measured_profile.get_ratio,
+              100.0 * probe.measured_profile.hit_ratio,
+              probe.measured_profile.avg_key_bytes,
+              probe.measured_profile.avg_value_bytes,
+              static_cast<unsigned long>(probe.measured_profile.num_objects));
+  std::printf("latency budget %.0f us\n\n", latency_us);
+
+  CostModel model(ExperimentSpec(experiment), CostModelOptions());
+  SearchOptions search;
+  search.latency_cap_us = latency_us;
+  const SearchResult result =
+      FindOptimalConfig(model, probe.measured_profile, search);
+
+  std::printf("%-5s %10s %8s %8s  %s\n", "rank", "mops", "t_max", "batch",
+              "configuration");
+  int rank = 1;
+  for (const ConfigEvaluation& eval : result.all) {
+    std::printf("%-5d %10.2f %8.0f %8lu  %s\n", rank++,
+                eval.prediction.throughput_mops, eval.prediction.t_max,
+                static_cast<unsigned long>(eval.prediction.batch_size),
+                eval.config.ToString().c_str());
+  }
+  std::printf("\nbest configuration: %s\n",
+              result.best.config.ToString().c_str());
+  std::printf("predicted gain over worst: %.1fx\n",
+              result.best.prediction.throughput_mops /
+                  result.all.back().prediction.throughput_mops);
+  return 0;
+}

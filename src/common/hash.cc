@@ -1,0 +1,61 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace dido {
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+
+uint64_t Rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+uint64_t Load64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t Load32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t Hash64(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed + kPrime3 + static_cast<uint64_t>(len) * kPrime1;
+  while (len >= 8) {
+    h ^= Rotl(Load64(p) * kPrime2, 31) * kPrime1;
+    h = Rotl(h, 27) * kPrime1 + kPrime3;
+    p += 8;
+    len -= 8;
+  }
+  if (len >= 4) {
+    h ^= static_cast<uint64_t>(Load32(p)) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    h ^= static_cast<uint64_t>(*p) * kPrime3;
+    h = Rotl(h, 11) * kPrime1;
+    ++p;
+    --len;
+  }
+  return Mix64(h);
+}
+
+}  // namespace dido

@@ -1,0 +1,25 @@
+#ifndef DIDO_COMMON_HASH_H_
+#define DIDO_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dido {
+
+// 64-bit byte-string hash (xxHash-inspired mix over 8-byte lanes).  This is
+// the single hash used across the system; the cuckoo index derives its two
+// bucket choices and its 16-bit signature from different bit ranges of one
+// invocation, exactly as Mega-KV derives signature + location from one hash.
+uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+// Finalizer-style mix of an already-64-bit value (SplitMix64 finalizer).
+uint64_t Mix64(uint64_t x);
+
+}  // namespace dido
+
+#endif  // DIDO_COMMON_HASH_H_

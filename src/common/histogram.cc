@@ -1,0 +1,83 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace dido {
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+int Histogram::BucketFor(double value) {
+  if (!(value > 0.0)) return 0;
+  // Buckets are logarithmic in value with kBucketsPerDecade buckets per
+  // factor of 10, anchored so value 1.0 maps to bucket 64.
+  const double idx = 64.0 + std::log10(value) * kBucketsPerDecade;
+  const int bucket = static_cast<int>(idx);
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int bucket) {
+  return std::pow(10.0, (static_cast<double>(bucket) - 64.0) / kBucketsPerDecade);
+}
+
+void Histogram::Add(double value) {
+  buckets_[static_cast<size_t>(BucketFor(value))] += 1;
+  count_ += 1;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::min() const { return count_ > 0 ? min_ : 0.0; }
+double Histogram::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double Histogram::Mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate within the bucket.
+      const double lo = std::max(BucketLowerBound(i), min_);
+      const double hi = std::min(BucketLowerBound(i + 1), max_);
+      const double frac =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(0.50)
+     << " p95=" << Percentile(0.95) << " p99=" << Percentile(0.99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace dido

@@ -1,0 +1,50 @@
+#ifndef DIDO_COMMON_HISTOGRAM_H_
+#define DIDO_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dido {
+
+// Log-scaled latency histogram.  Values (microseconds, operation counts,
+// batch sizes, ...) are bucketed by a hybrid linear/exponential rule giving
+// ~4% relative resolution, which is enough for the p50/p95/p99 reporting the
+// benchmarks and examples do.
+class Histogram {
+ public:
+  Histogram() { Reset(); }
+
+  void Reset();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+
+  // Linear-interpolated quantile; q in [0, 1].
+  double Percentile(double q) const;
+
+  // One-line summary "count=... mean=... p50=... p95=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBucketsPerDecade = 56;
+  static constexpr int kNumBuckets = 512;
+
+  static int BucketFor(double value);
+  static double BucketLowerBound(int bucket);
+
+  std::array<uint64_t, kNumBuckets> buckets_;
+  uint64_t count_;
+  double sum_;
+  double min_;
+  double max_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_COMMON_HISTOGRAM_H_

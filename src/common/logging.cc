@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace dido {
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  std::cerr << "[" << SeverityTag(severity_) << " " << Basename(file_) << ":"
+            << line_ << "] " << stream_.str() << "\n";
+  if (severity_ == LogSeverity::kFatal) {
+    std::cerr.flush();
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace dido

@@ -1,0 +1,79 @@
+#ifndef DIDO_COMMON_LOGGING_H_
+#define DIDO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dido {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Minimum severity actually emitted.  Defaults to kInfo; benchmarks raise it
+// to kWarning to keep table output clean.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal_logging {
+
+// Accumulates one log line and flushes it (with severity tag and location)
+// on destruction.  FATAL aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows a disabled log statement while keeping the << chain well-formed.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace dido
+
+#define DIDO_LOG_ENABLED(severity)                             \
+  (::dido::LogSeverity::k##severity >= ::dido::MinLogSeverity())
+
+#define DIDO_LOG(severity)                                            \
+  if (!DIDO_LOG_ENABLED(severity))                                    \
+    ;                                                                 \
+  else                                                                \
+    ::dido::internal_logging::LogMessage(::dido::LogSeverity::k##severity, \
+                                         __FILE__, __LINE__)          \
+        .stream()
+
+// CHECK macros abort on violated invariants regardless of log level.
+#define DIDO_CHECK(cond)                                                    \
+  if (cond)                                                                 \
+    ;                                                                       \
+  else                                                                      \
+    ::dido::internal_logging::LogMessage(::dido::LogSeverity::kFatal,       \
+                                         __FILE__, __LINE__)                \
+            .stream()                                                       \
+        << "Check failed: " #cond " "
+
+#define DIDO_CHECK_EQ(a, b) DIDO_CHECK((a) == (b))
+#define DIDO_CHECK_NE(a, b) DIDO_CHECK((a) != (b))
+#define DIDO_CHECK_LT(a, b) DIDO_CHECK((a) < (b))
+#define DIDO_CHECK_LE(a, b) DIDO_CHECK((a) <= (b))
+#define DIDO_CHECK_GT(a, b) DIDO_CHECK((a) > (b))
+#define DIDO_CHECK_GE(a, b) DIDO_CHECK((a) >= (b))
+
+#endif  // DIDO_COMMON_LOGGING_H_

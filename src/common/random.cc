@@ -1,0 +1,52 @@
+#include "common/random.h"
+
+namespace dido {
+
+uint64_t Random::SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void Random::Seed(uint64_t seed) {
+  if (seed == 0) seed = 0x853C49E6748FEA9BULL;
+  uint64_t state = seed;
+  s0_ = SplitMix64(state);
+  s1_ = SplitMix64(state);
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::NextBounded(uint64_t bound) {
+  // Multiply-shift rejection-free mapping; bias is negligible (< 2^-64 *
+  // bound) for the bounds used in this project.
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(Next()) * bound;
+  return static_cast<uint64_t>(product >> 64);
+}
+
+uint64_t Random::NextInRange(uint64_t lo, uint64_t hi) {
+  return lo + NextBounded(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace dido

@@ -1,0 +1,42 @@
+#ifndef DIDO_COMMON_RANDOM_H_
+#define DIDO_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace dido {
+
+// Fast, seedable PRNG (xorshift128+).  Deterministic for a given seed, which
+// every workload generator and benchmark relies on for reproducibility.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  // Re-seeds the generator.  A zero seed is remapped to a fixed non-zero
+  // constant because the all-zero state is a fixed point of xorshift.
+  void Seed(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t Next();
+
+  // Uniform over [0, bound).  bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.  Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+ private:
+  static uint64_t SplitMix64(uint64_t& state);
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_COMMON_RANDOM_H_

@@ -1,0 +1,128 @@
+#ifndef DIDO_COMMON_STATUS_H_
+#define DIDO_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dido {
+
+// Error taxonomy for all fallible dido operations.  The project does not use
+// C++ exceptions; every fallible API returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // key absent from the index
+  kAlreadyExists,   // insert collided with a live entry
+  kInvalidArgument, // malformed input (bad frame, bad config, ...)
+  kOutOfMemory,     // allocator exhausted and eviction impossible
+  kResourceBusy,    // transient contention (cuckoo path in flight)
+  kCapacityFull,    // cuckoo displacement search exhausted
+  kInternal,        // invariant violation
+  kUnavailable,     // component not running / shut down
+};
+
+// Human-readable name of a status code ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-semantic error carrier.  An OK status stores no message and is cheap
+// to copy; failure statuses carry a context message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "not found") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "already exists") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg = "out of memory") {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status ResourceBusy(std::string msg = "resource busy") {
+    return Status(StatusCode::kResourceBusy, std::move(msg));
+  }
+  static Status CapacityFull(std::string msg = "capacity full") {
+    return Status(StatusCode::kCapacityFull, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "unavailable") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is a Status plus a value present exactly when the status is OK.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the held value, or `fallback` when the result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dido
+
+// Propagates a non-OK status out of the current function.
+#define DIDO_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::dido::Status dido_status_ = (expr);     \
+    if (!dido_status_.ok()) return dido_status_; \
+  } while (false)
+
+#endif  // DIDO_COMMON_STATUS_H_

@@ -1,0 +1,112 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dido {
+namespace {
+
+double PartialZetaUncached(uint64_t n, double theta);
+
+// The cost model evaluates hot-set fractions for every task of every
+// candidate configuration of every batch, each of which needs zeta sums
+// over object counts in the millions — memoize them.  Theta is quantized to
+// 1e-9 for the cache key; the approximation error is far larger.
+double PartialZeta(uint64_t n, double theta) {
+  using Key = std::pair<uint64_t, int64_t>;
+  static std::mutex* mu = new std::mutex();
+  static std::map<Key, double>* cache = new std::map<Key, double>();
+  const Key key(n, static_cast<int64_t>(theta * 1e9));
+  {
+    std::lock_guard<std::mutex> lock(*mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  const double value = PartialZetaUncached(n, theta);
+  std::lock_guard<std::mutex> lock(*mu);
+  if (cache->size() > 100000) cache->clear();  // unbounded-growth backstop
+  (*cache)[key] = value;
+  return value;
+}
+
+// Partial zeta sum_{i=1}^{n} i^-theta.  Exact below the cutoff, Euler-
+// Maclaurin beyond it (error < 1e-6 for theta in [0, 1.5]).
+double PartialZetaUncached(uint64_t n, double theta) {
+  constexpr uint64_t kExactCutoff = 65536;
+  if (n == 0) return 0.0;
+  if (n <= kExactCutoff) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) sum += std::pow(static_cast<double>(i), -theta);
+    return sum;
+  }
+  double sum = PartialZeta(kExactCutoff, theta);
+  const double a = static_cast<double>(kExactCutoff);
+  const double b = static_cast<double>(n);
+  if (std::fabs(theta - 1.0) < 1e-12) {
+    sum += std::log(b / a);
+  } else {
+    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+  }
+  // Trapezoidal end corrections.
+  sum += 0.5 * (std::pow(b, -theta) - std::pow(a, -theta));
+  return sum;
+}
+
+}  // namespace
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  return PartialZeta(n, theta);
+}
+
+double ZetaSum(uint64_t n, double theta) { return PartialZeta(n, theta); }
+
+ZipfGenerator::ZipfGenerator(uint64_t num_items, double skew)
+    : num_items_(num_items), skew_(skew) {
+  DIDO_CHECK_GT(num_items, 0u);
+  DIDO_CHECK_GE(skew, 0.0);
+  zeta_n_ = Zeta(num_items_, skew_);
+  zeta_2_ = Zeta(2, skew_);
+  alpha_ = skew_ < 1.0 ? 1.0 / (1.0 - skew_) : 0.0;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_items_), 1.0 - skew_)) /
+         (1.0 - zeta_2_ / zeta_n_);
+}
+
+uint64_t ZipfGenerator::Next(Random& rng) const {
+  if (skew_ == 0.0) return rng.NextBounded(num_items_);
+  const double u = rng.NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, skew_)) return 1;
+  const double rank =
+      static_cast<double>(num_items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t result = static_cast<uint64_t>(rank);
+  if (result >= num_items_) result = num_items_ - 1;
+  return result;
+}
+
+double ZipfGenerator::Probability(uint64_t rank) const {
+  DIDO_CHECK_LT(rank, num_items_);
+  return std::pow(static_cast<double>(rank + 1), -skew_) / zeta_n_;
+}
+
+double ZipfGenerator::TopFraction(uint64_t top_k) const {
+  if (top_k >= num_items_) return 1.0;
+  if (top_k == 0) return 0.0;
+  return PartialZeta(top_k, skew_) / zeta_n_;
+}
+
+std::vector<double> ZipfTopFrequencies(uint64_t n, double theta, uint64_t k) {
+  ZipfGenerator gen(n, theta);
+  if (k > n) k = n;
+  std::vector<double> out;
+  out.reserve(k);
+  for (uint64_t i = 0; i < k; ++i) out.push_back(gen.Probability(i));
+  return out;
+}
+
+}  // namespace dido

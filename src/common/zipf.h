@@ -1,0 +1,57 @@
+#ifndef DIDO_COMMON_ZIPF_H_
+#define DIDO_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dido {
+
+// Zipf-distributed key-rank generator over ranks [0, n).  Rank 0 is the most
+// popular key.  Uses the method of Gray et al. (SIGMOD '94) so that drawing a
+// sample is O(1) after an O(n) zeta precomputation.
+//
+// skew (theta) = 0 degenerates to the uniform distribution; the YCSB default
+// used throughout the DIDO paper is theta = 0.99.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t num_items, double skew);
+
+  // Draws the next rank in [0, num_items).
+  uint64_t Next(Random& rng) const;
+
+  uint64_t num_items() const { return num_items_; }
+  double skew() const { return skew_; }
+
+  // Probability mass of the item at `rank` (0-based): (1/(rank+1)^theta)/zeta.
+  double Probability(uint64_t rank) const;
+
+  // Total probability mass of the `top_k` most popular items.  This is the
+  // paper's P = sum_{i<=n'} f_i / sum_j f_j hot-set fraction used by the cost
+  // model to turn memory accesses into cache accesses (Section IV-B).
+  double TopFraction(uint64_t top_k) const;
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t num_items_;
+  double skew_;
+  double zeta_n_;
+  double zeta_2_;
+  double alpha_;
+  double eta_;
+};
+
+// Utility shared by the profiler tests and the cost model: exact Zipf
+// frequencies of the top `k` ranks out of `n` items with skew `theta`.
+std::vector<double> ZipfTopFrequencies(uint64_t n, double theta, uint64_t k);
+
+// Partial zeta sum_{i=1}^{n} i^-theta (exact below 64k, Euler-Maclaurin
+// beyond).  Used by the profiler's skew estimator: the second moment of a
+// Zipf(n, theta) pmf is ZetaSum(n, 2*theta) / ZetaSum(n, theta)^2.
+double ZetaSum(uint64_t n, double theta);
+
+}  // namespace dido
+
+#endif  // DIDO_COMMON_ZIPF_H_

@@ -1,0 +1,116 @@
+#include "core/dido_store.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace dido {
+
+KvRuntime::Options MakeRuntimeOptions(const DidoOptions& options) {
+  KvRuntime::Options rt;
+  rt.slab.arena_bytes = options.arena_bytes;
+
+  uint64_t buckets = options.index_buckets;
+  if (buckets == 0) {
+    // Size the index so a full arena of expected-size objects sits at the
+    // target load factor.
+    SlabAllocator probe(rt.slab);
+    const uint64_t capacity = probe.CapacityForObject(
+        options.expected_key_bytes, options.expected_value_bytes);
+    const double slots =
+        static_cast<double>(std::max<uint64_t>(capacity, 1024)) /
+        std::max(0.05, options.index_target_load);
+    buckets = std::bit_ceil(static_cast<uint64_t>(
+        slots / CuckooHashTable::kSlotsPerBucket));
+  }
+  rt.index.num_buckets = buckets;
+  return rt;
+}
+
+DidoStore::DidoStore(const DidoOptions& options, const ApuSpec& spec)
+    : options_(options),
+      spec_(spec),
+      runtime_(std::make_unique<KvRuntime>(MakeRuntimeOptions(options))),
+      executor_(std::make_unique<PipelineExecutor>(runtime_.get(), spec,
+                                                   options.executor)),
+      cost_model_(spec, options.cost_model),
+      profiler_(options.profiler),
+      config_(options.initial_config) {
+  config_.work_stealing = options_.work_stealing;
+  DIDO_CHECK(config_.Valid());
+}
+
+Status DidoStore::Put(std::string_view key, std::string_view value) {
+  return runtime_->Put(key, value);
+}
+
+Result<std::string> DidoStore::Get(std::string_view key) {
+  return runtime_->GetValue(key);
+}
+
+Status DidoStore::Delete(std::string_view key) {
+  return runtime_->DeleteKey(key);
+}
+
+uint64_t DidoStore::Preload(const DatasetSpec& dataset,
+                            uint64_t target_objects) {
+  return runtime_->Preload(dataset, target_objects);
+}
+
+void DidoStore::MaybeAdapt() {
+  runtime_->set_sampling_epoch(profiler_.epoch());
+  if (!options_.adaptive || !profiler_.ShouldReplan()) return;
+  SearchOptions search;
+  search.latency_cap_us = options_.executor.latency_cap_us;
+  search.interval_us = options_.executor.interval_us;
+  search.work_stealing = options_.work_stealing;
+  const SearchResult result =
+      FindOptimalConfig(cost_model_, profiler_.Estimate(), search);
+  if (!(result.best.config == config_)) {
+    DIDO_LOG(Debug) << "pipeline re-planned: " << result.best.config.ToString();
+    config_ = result.best.config;
+  }
+  profiler_.MarkPlanned();
+  replan_count_ += 1;
+}
+
+BatchResult DidoStore::ServeBatch(TrafficSource& source,
+                                  uint64_t target_queries,
+                                  std::vector<Frame>* responses) {
+  BatchResult result =
+      executor_->RunBatch(config_, source, target_queries, responses);
+  profiler_.Observe(result.measured_profile, result.measurements);
+  MaybeAdapt();
+  return result;
+}
+
+PipelineExecutor::SteadyState DidoStore::MeasureSteadyState(
+    TrafficSource& source, int warmup_batches, int measure_batches) {
+  for (int i = 0; i < warmup_batches; ++i) {
+    ServeBatch(source, 2048);
+  }
+  return executor_->RunSteadyState(config_, source, measure_batches);
+}
+
+const PipelineConfig& DidoStore::Replan(TrafficSource& source) {
+  // One observation batch so the profiler has fresh counters, then plan.
+  BatchResult result = executor_->RunBatch(config_, source, 2048);
+  profiler_.Observe(result.measured_profile, result.measurements);
+  const bool was_adaptive = options_.adaptive;
+  options_.adaptive = true;
+  // Force the drift check to pass by clearing the planned snapshot.
+  SearchOptions search;
+  search.latency_cap_us = options_.executor.latency_cap_us;
+  search.interval_us = options_.executor.interval_us;
+  search.work_stealing = options_.work_stealing;
+  const SearchResult best =
+      FindOptimalConfig(cost_model_, profiler_.Estimate(), search);
+  config_ = best.best.config;
+  profiler_.MarkPlanned();
+  replan_count_ += 1;
+  options_.adaptive = was_adaptive;
+  return config_;
+}
+
+}  // namespace dido

@@ -1,0 +1,113 @@
+#ifndef DIDO_CORE_DIDO_STORE_H_
+#define DIDO_CORE_DIDO_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "costmodel/config_search.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/profiler.h"
+#include "pipeline/kv_runtime.h"
+#include "pipeline/pipeline_executor.h"
+
+namespace dido {
+
+// Construction options of a DidoStore.
+struct DidoOptions {
+  // Key-value memory budget (the paper's APU could share 1,908 MB; the
+  // default here keeps experiments laptop-sized — see DESIGN.md).
+  size_t arena_bytes = 64ull << 20;
+  // Cuckoo index sizing: buckets are derived from the arena capacity and
+  // this target load factor unless index_buckets is set explicitly.
+  double index_target_load = 0.5;
+  uint64_t index_buckets = 0;  // 0 = derive
+  uint32_t expected_key_bytes = 8;    // for capacity-based index sizing
+  uint32_t expected_value_bytes = 8;
+
+  ExecutorOptions executor;
+  CostModelOptions cost_model;
+  WorkloadProfiler::Options profiler;
+
+  // Cost-model-guided dynamic adaptation (the paper's headline mechanism).
+  // When false the store keeps initial_config forever (useful baselines).
+  bool adaptive = true;
+  bool work_stealing = true;
+  PipelineConfig initial_config = PipelineConfig::DidoDefault();
+};
+
+// DIDO: an in-memory key-value store with dynamic pipeline execution on a
+// (simulated) coupled CPU-GPU architecture.
+//
+// Two usage modes:
+//  * Direct API — Put/Get/Delete operate synchronously on the store, for
+//    applications embedding it as a library.
+//  * Pipelined serving — ServeBatch() pushes client frames through the
+//    current pipeline configuration; the workload profiler watches every
+//    batch and, when the workload drifts >10%, the APU-aware cost model
+//    re-plans the pipeline (dynamic pipeline partitioning + flexible index
+//    operation assignment) with work stealing absorbing the residual
+//    imbalance.
+class DidoStore {
+ public:
+  explicit DidoStore(const DidoOptions& options,
+                     const ApuSpec& spec = DefaultKaveriSpec());
+
+  // --- direct API ---
+  Status Put(std::string_view key, std::string_view value);
+  Result<std::string> Get(std::string_view key);
+  Status Delete(std::string_view key);
+
+  // Bulk-loads `target_objects` canonical objects of `dataset` (used to
+  // bring the store to the paper's "as full as possible" state).  Returns
+  // the number of live objects afterwards.
+  uint64_t Preload(const DatasetSpec& dataset, uint64_t target_objects);
+
+  // --- pipelined serving ---
+
+  // Executes one batch of ~target_queries from `source` under the current
+  // pipeline configuration, then lets the profiler/cost model adapt for the
+  // next batch.  `responses` optionally receives the response frames.
+  BatchResult ServeBatch(TrafficSource& source, uint64_t target_queries,
+                         std::vector<Frame>* responses = nullptr);
+
+  // Steady-state measurement at the current workload: first lets the
+  // adaptation settle (warmup_batches), then measures.
+  PipelineExecutor::SteadyState MeasureSteadyState(TrafficSource& source,
+                                                   int warmup_batches = 6,
+                                                   int measure_batches = 5);
+
+  // Forces one re-planning pass immediately (used by experiments that pin
+  // the workload and only want the final configuration).
+  const PipelineConfig& Replan(TrafficSource& source);
+
+  const PipelineConfig& current_config() const { return config_; }
+  uint64_t replan_count() const { return replan_count_; }
+
+  KvRuntime& runtime() { return *runtime_; }
+  PipelineExecutor& executor() { return *executor_; }
+  WorkloadProfiler& profiler() { return profiler_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const DidoOptions& options() const { return options_; }
+
+ private:
+  void MaybeAdapt();
+
+  DidoOptions options_;
+  ApuSpec spec_;
+  std::unique_ptr<KvRuntime> runtime_;
+  std::unique_ptr<PipelineExecutor> executor_;
+  CostModel cost_model_;
+  WorkloadProfiler profiler_;
+  PipelineConfig config_;
+  uint64_t replan_count_ = 0;
+};
+
+// Derives KvRuntime options (slab + index sizing) from store options.
+KvRuntime::Options MakeRuntimeOptions(const DidoOptions& options);
+
+}  // namespace dido
+
+#endif  // DIDO_CORE_DIDO_STORE_H_

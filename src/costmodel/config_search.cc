@@ -1,0 +1,51 @@
+#include "costmodel/config_search.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dido {
+
+SearchResult FindOptimalConfig(const CostModel& model,
+                               const WorkloadProfileData& profile,
+                               const SearchOptions& options) {
+  std::vector<PipelineConfig> configs;
+  if (options.fix_megakv_partitioning) {
+    // Only the four Insert/Delete placements on the Mega-KV cut.
+    for (Device ins : {Device::kCpu, Device::kGpu}) {
+      for (Device del : {Device::kCpu, Device::kGpu}) {
+        PipelineConfig config = PipelineConfig::MegaKv();
+        config.work_stealing = options.work_stealing;
+        config.insert_device = ins;
+        config.delete_device = del;
+        configs.push_back(config);
+      }
+    }
+  } else {
+    configs = EnumerateConfigs(options.work_stealing);
+  }
+  DIDO_CHECK(!configs.empty());
+
+  SearchResult result;
+  result.all.reserve(configs.size());
+  for (const PipelineConfig& config : configs) {
+    const size_t num_stages = config.Stages(4).size();
+    const Micros interval =
+        options.interval_us > 0.0
+            ? options.interval_us
+            : SchedulingIntervalUs(options.latency_cap_us, num_stages);
+    ConfigEvaluation eval;
+    eval.config = config;
+    eval.prediction = model.Predict(config, profile, interval);
+    result.all.push_back(std::move(eval));
+  }
+  std::sort(result.all.begin(), result.all.end(),
+            [](const ConfigEvaluation& a, const ConfigEvaluation& b) {
+              return a.prediction.throughput_mops >
+                     b.prediction.throughput_mops;
+            });
+  result.best = result.all.front();
+  return result;
+}
+
+}  // namespace dido

@@ -1,0 +1,44 @@
+#ifndef DIDO_COSTMODEL_CONFIG_SEARCH_H_
+#define DIDO_COSTMODEL_CONFIG_SEARCH_H_
+
+#include <vector>
+
+#include "costmodel/cost_model.h"
+#include "pipeline/pipeline_config.h"
+
+namespace dido {
+
+// One evaluated point of the configuration space.
+struct ConfigEvaluation {
+  PipelineConfig config;
+  Prediction prediction;
+};
+
+// Result of the exhaustive search of Section IV-B ("we search the entire
+// configuration space to obtain the optimal configuration plan").
+struct SearchResult {
+  ConfigEvaluation best;
+  std::vector<ConfigEvaluation> all;  // sorted by descending throughput
+};
+
+// Options for the search.
+struct SearchOptions {
+  Micros latency_cap_us = 1000.0;  // derives a per-config interval
+  Micros interval_us = 0.0;        // explicit override when > 0
+  bool work_stealing = true;       // evaluate configs with WS enabled
+  // Restrict to the Mega-KV pipeline cut, searching only the index-op
+  // assignment (used by the Fig. 13 flexible-assignment-only experiment).
+  bool fix_megakv_partitioning = false;
+};
+
+// Evaluates every pipeline partitioning x index-op assignment with the cost
+// model and returns the predicted-best configuration.  The runtime overhead
+// is small (the space has ~100 points and each evaluation is analytic),
+// matching the paper's observation.
+SearchResult FindOptimalConfig(const CostModel& model,
+                               const WorkloadProfileData& profile,
+                               const SearchOptions& options);
+
+}  // namespace dido
+
+#endif  // DIDO_COSTMODEL_CONFIG_SEARCH_H_

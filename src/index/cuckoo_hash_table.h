@@ -1,0 +1,134 @@
+#ifndef DIDO_INDEX_CUCKOO_HASH_TABLE_H_
+#define DIDO_INDEX_CUCKOO_HASH_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "mem/kv_object.h"
+
+namespace dido {
+
+// Bucketized cuckoo hash table with 16-bit key signatures — the index data
+// structure DIDO adopts (paper Section IV-B, citing Pagh & Rodler and the
+// Mega-KV / MemC3 design):
+//
+//  * Two hash choices per key, 8-way buckets.
+//  * A slot packs a 16-bit signature and a 48-bit KvObject pointer into one
+//    64-bit word, so Search uses a single atomic load per slot and
+//    Insert/Delete publish with a single compare-exchange — mirroring the
+//    paper's use of OpenCL atomic load / CAS for CPU-GPU-concurrent index
+//    access (Section III-B2).
+//  * Partial-key cuckoo displacement (MemC3 style): a displaced entry's
+//    alternate bucket is derived from its signature, so relocation never
+//    re-reads the full key.
+//
+// Search returns *candidates* whose signatures match; full-key comparison is
+// deliberately left to the caller because key comparison (KC) is its own
+// pipeline task in DIDO and may run on a different processor than IN.
+class CuckooHashTable {
+ public:
+  struct Options {
+    uint64_t num_buckets = 1 << 16;  // rounded up to a power of two
+    int max_displacements = 512;     // cuckoo path bound before kCapacityFull
+  };
+
+  static constexpr int kSlotsPerBucket = 8;
+  static constexpr int kNumHashes = 2;  // hash choices per key
+
+  // Aggregate operation counters; probes are reported in buckets touched so
+  // the cost model's (sum_i i)/n expected-probe formula can be validated.
+  struct Counters {
+    uint64_t searches = 0;
+    uint64_t search_buckets_probed = 0;
+    uint64_t search_primary_hits = 0;
+    uint64_t inserts = 0;
+    uint64_t insert_buckets_probed = 0;
+    uint64_t displacements = 0;
+    uint64_t deletes = 0;
+    uint64_t delete_buckets_probed = 0;
+    uint64_t failed_inserts = 0;
+  };
+
+  explicit CuckooHashTable(const Options& options);
+
+  CuckooHashTable(const CuckooHashTable&) = delete;
+  CuckooHashTable& operator=(const CuckooHashTable&) = delete;
+
+  // Canonical key hash used for all index operations.
+  static uint64_t HashKey(std::string_view key);
+
+  // --- Index operations (the IN / Search / Insert / Delete tasks) ---
+
+  // Collects up to `max_candidates` objects whose slot signature matches.
+  // Returns the number of candidates written to `candidates`.
+  int Search(uint64_t hash, KvObject** candidates, int max_candidates) const;
+
+  // Search + full-key verification in one call (convenience path used when
+  // IN and KC are fused into the same pipeline stage).
+  KvObject* SearchVerified(uint64_t hash, std::string_view key) const;
+
+  // Publishes `object` under `hash`.  If a live entry with the same
+  // signature+key exists it is replaced and the previous object is returned
+  // through `replaced` (caller frees it).  Fails with kCapacityFull when the
+  // displacement bound is exceeded.
+  Status Insert(uint64_t hash, KvObject* object, KvObject** replaced);
+
+  // Removes the entry for `key`; returns the unlinked object through
+  // `removed` (caller frees it).  kNotFound if absent.  Entries pointing at
+  // `exclude` are skipped — the SET path uses this to unlink a key's old
+  // version without racing its own freshly inserted one.
+  Status Delete(uint64_t hash, std::string_view key, KvObject** removed,
+                const KvObject* exclude = nullptr);
+
+  // Removes the entry pointing at exactly `object` (eviction path, where the
+  // victim identity is known).  kNotFound if the index no longer holds it.
+  Status Remove(uint64_t hash, KvObject* object);
+
+  uint64_t num_buckets() const { return num_buckets_; }
+  uint64_t Capacity() const { return num_buckets_ * kSlotsPerBucket; }
+  uint64_t LiveEntries() const;
+  double LoadFactor() const;
+
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = Counters(); }
+
+ private:
+  using Slot = std::atomic<uint64_t>;
+
+  struct Bucket {
+    Slot slots[kSlotsPerBucket];
+  };
+
+  static constexpr uint64_t kPtrMask = (1ULL << 48) - 1;
+
+  static uint16_t SignatureOf(uint64_t hash);
+  static uint64_t PackEntry(uint16_t signature, const KvObject* object);
+  static KvObject* EntryObject(uint64_t entry);
+  static uint16_t EntrySignature(uint64_t entry);
+
+  uint64_t PrimaryBucket(uint64_t hash) const;
+  uint64_t AlternateBucket(uint64_t bucket, uint16_t signature) const;
+
+  // Displaces entries along a cuckoo path to open a slot in bucket `b1` or
+  // `b2`.  Must hold displacement_mu_.  Returns the freed (bucket, slot) or
+  // a kCapacityFull error.
+  Status MakeRoom(uint64_t b1, uint64_t b2, uint64_t* out_bucket,
+                  int* out_slot);
+
+  uint64_t num_buckets_;  // power of two
+  uint64_t bucket_mask_;
+  std::unique_ptr<Bucket[]> buckets_;
+  std::atomic<uint64_t> live_entries_{0};
+  std::mutex displacement_mu_;  // serializes cuckoo path moves
+  mutable Counters counters_;
+  Options options_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_INDEX_CUCKOO_HASH_TABLE_H_

@@ -1,0 +1,191 @@
+#include "live/live_pipeline.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace dido {
+
+bool LivePipeline::BatchQueue::Push(std::unique_ptr<QueryBatch> batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_push_.wait(lock, [this] { return queue_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(batch));
+  cv_pop_.notify_one();
+  return true;
+}
+
+std::unique_ptr<QueryBatch> LivePipeline::BatchQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_pop_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return nullptr;  // closed and drained
+  std::unique_ptr<QueryBatch> batch = std::move(queue_.front());
+  queue_.pop_front();
+  cv_push_.notify_one();
+  return batch;
+}
+
+void LivePipeline::BatchQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_push_.notify_all();
+  cv_pop_.notify_all();
+}
+
+LivePipeline::LivePipeline(KvRuntime* runtime, const PipelineConfig& config,
+                           const Options& options)
+    : runtime_(runtime), config_(config), options_(options) {
+  DIDO_CHECK(runtime != nullptr);
+  DIDO_CHECK(config.Valid()) << config.ToString();
+  stages_ = config_.Stages(4);
+}
+
+LivePipeline::~LivePipeline() { Stop(); }
+
+Status LivePipeline::Start(TrafficSource* source) {
+  if (running_.exchange(true)) {
+    return Status::AlreadyExists("pipeline already running");
+  }
+  stop_requested_.store(false);
+  stats_ = Stats();
+  start_time_ = std::chrono::steady_clock::now();
+
+  // One queue in front of every stage after the first.
+  queues_.clear();
+  for (size_t i = 1; i < stages_.size(); ++i) {
+    queues_.push_back(std::make_unique<BatchQueue>(options_.queue_depth));
+  }
+
+  threads_.emplace_back([this, source] { IngressLoop(source); });
+  for (size_t s = 1; s < stages_.size(); ++s) {
+    threads_.emplace_back([this, s] { StageLoop(s); });
+  }
+  return Status::Ok();
+}
+
+void LivePipeline::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  queues_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+void LivePipeline::IngressLoop(TrafficSource* source) {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    auto batch = std::make_unique<QueryBatch>();
+    batch->sequence = ++sequence_;
+    batch->config = config_;
+
+    // RV: ingest frames until the batch is full.
+    uint64_t queries = 0;
+    while (queries < options_.batch_queries) {
+      Frame frame;
+      queries += source->FillFrame(&frame, nullptr);
+      batch->frames.push_back(std::move(frame));
+    }
+    // PP + stage-0 tasks.
+    const Status status = runtime_->RunPacketProcessing(batch.get());
+    if (!status.ok()) {
+      DIDO_LOG(Error) << "packet processing failed: " << status.ToString();
+      break;
+    }
+    for (TaskKind task : stages_[0].tasks) {
+      if (task == TaskKind::kRv || task == TaskKind::kPp ||
+          task == TaskKind::kSd) {
+        continue;
+      }
+      runtime_->RunRangeTask(task, batch.get(), 0, batch->size());
+    }
+
+    if (queues_.empty()) {
+      // Single-stage pipeline: retire inline.
+      runtime_->RetireBatch(batch.get());
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.batches += 1;
+      stats_.queries += batch->measurements.num_queries;
+      stats_.hits += batch->measurements.hits;
+      stats_.misses += batch->measurements.misses;
+      stats_.sets += batch->measurements.sets;
+      continue;
+    }
+    if (!queues_[0]->Push(std::move(batch))) break;
+  }
+  if (!queues_.empty()) queues_[0]->Close();
+}
+
+void LivePipeline::StageLoop(size_t stage_index) {
+  BatchQueue& in = *queues_[stage_index - 1];
+  BatchQueue* out =
+      stage_index < stages_.size() - 1 ? queues_[stage_index].get() : nullptr;
+  const bool is_last = out == nullptr;
+  // Objects unlinked by batch N are freed when batch N+1 retires: earlier
+  // batches' KC may still dereference candidate pointers collected before
+  // the unlink (the live pipeline's equivalent of the simulator's
+  // one-batch grace period).
+  std::vector<KvObject*> grace_frees;
+
+  for (;;) {
+    std::unique_ptr<QueryBatch> batch = in.Pop();
+    if (batch == nullptr) break;  // upstream closed and drained
+
+    for (TaskKind task : stages_[stage_index].tasks) {
+      if (task == TaskKind::kRv || task == TaskKind::kPp ||
+          task == TaskKind::kSd) {
+        continue;  // SD is the final hand-off below
+      }
+      runtime_->RunRangeTask(task, batch.get(), 0, batch->size());
+    }
+
+    if (!is_last) {
+      if (!out->Push(std::move(batch))) break;
+      continue;
+    }
+
+    // SD + retire (with the extended reclamation grace above).
+    std::vector<KvObject*> unlinked = std::move(batch->deferred_frees);
+    batch->deferred_frees.clear();
+    runtime_->RetireBatch(batch.get());
+    for (KvObject* object : grace_frees) runtime_->memory().FreeObject(object);
+    grace_frees = std::move(unlinked);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.batches += 1;
+    stats_.queries += batch->measurements.num_queries;
+    stats_.hits += batch->measurements.hits;
+    stats_.misses += batch->measurements.misses;
+    stats_.sets += batch->measurements.sets;
+    if (options_.keep_responses) {
+      for (Frame& frame : batch->responses) {
+        responses_.push_back(std::move(frame));
+      }
+    }
+  }
+  if (out != nullptr) out->Close();
+  for (KvObject* object : grace_frees) runtime_->memory().FreeObject(object);
+}
+
+LivePipeline::Stats LivePipeline::Collect() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats stats = stats_;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  stats.wall_seconds = seconds;
+  stats.mops = seconds > 0.0
+                   ? static_cast<double>(stats.queries) / (seconds * 1e6)
+                   : 0.0;
+  return stats;
+}
+
+std::vector<Frame> LivePipeline::TakeResponses() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::vector<Frame> out = std::move(responses_);
+  responses_.clear();
+  return out;
+}
+
+}  // namespace dido

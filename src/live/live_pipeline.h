@@ -1,0 +1,119 @@
+#ifndef DIDO_LIVE_LIVE_PIPELINE_H_
+#define DIDO_LIVE_LIVE_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/sim_nic.h"
+#include "pipeline/batch.h"
+#include "pipeline/kv_runtime.h"
+#include "pipeline/pipeline_config.h"
+
+namespace dido {
+
+// Wall-clock execution of a pipeline configuration with real OS threads.
+//
+// While the PipelineExecutor *simulates* APU timing around a single-threaded
+// execution, LivePipeline actually pipelines: one worker thread per stage
+// (the GPU stage's worker stands in for the GPU device — on the real APU it
+// would be the OpenCL dispatch thread), connected by bounded batch queues.
+// A batch is owned by exactly one stage thread at a time, so the runtime's
+// task implementations need no extra locking; cross-batch concurrency
+// exercises the same atomic index/heap paths as the coupled hardware.
+//
+// This mode is what `examples/live_server` runs; the simulator remains the
+// vehicle for the paper's figures (its timing is calibrated, deterministic
+// and hardware-independent).
+class LivePipeline {
+ public:
+  struct Options {
+    uint64_t batch_queries = 2048;  // queries ingested per batch
+    size_t queue_depth = 4;         // bounded inter-stage queue length
+    bool keep_responses = false;    // retain response frames for inspection
+  };
+
+  struct Stats {
+    uint64_t batches = 0;
+    uint64_t queries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t sets = 0;
+    double wall_seconds = 0.0;
+    double mops = 0.0;  // queries / wall time
+  };
+
+  LivePipeline(KvRuntime* runtime, const PipelineConfig& config,
+               const Options& options);
+  ~LivePipeline();
+
+  LivePipeline(const LivePipeline&) = delete;
+  LivePipeline& operator=(const LivePipeline&) = delete;
+
+  // Spawns the stage threads and starts pulling queries from `source`
+  // (which must outlive the pipeline; it is accessed only from the ingress
+  // thread).  Fails if already running.
+  Status Start(TrafficSource* source);
+
+  // Stops ingesting, drains in-flight batches, joins all threads.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Snapshot of the retired-batch statistics.
+  Stats Collect() const;
+
+  // Response frames of retired batches (only when keep_responses is set;
+  // call after Stop()).
+  std::vector<Frame> TakeResponses();
+
+ private:
+  // Bounded MPMC queue of batches between adjacent stages.
+  class BatchQueue {
+   public:
+    explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
+
+    // Blocks while full; returns false if the queue was closed.
+    bool Push(std::unique_ptr<QueryBatch> batch);
+    // Blocks while empty; returns nullptr if closed and drained.
+    std::unique_ptr<QueryBatch> Pop();
+    void Close();
+
+   private:
+    size_t capacity_;
+    std::mutex mu_;
+    std::condition_variable cv_push_;
+    std::condition_variable cv_pop_;
+    std::deque<std::unique_ptr<QueryBatch>> queue_;
+    bool closed_ = false;
+  };
+
+  void IngressLoop(TrafficSource* source);
+  void StageLoop(size_t stage_index);
+
+  KvRuntime* runtime_;
+  PipelineConfig config_;
+  Options options_;
+  std::vector<StageSpec> stages_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::vector<std::unique_ptr<BatchQueue>> queues_;  // queues_[i] feeds stage i+1
+  std::vector<std::thread> threads_;
+  uint64_t sequence_ = 0;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+  std::vector<Frame> responses_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_LIVE_LIVE_PIPELINE_H_

@@ -1,0 +1,74 @@
+#ifndef DIDO_MEM_KV_OBJECT_H_
+#define DIDO_MEM_KV_OBJECT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dido {
+
+// In-memory representation of one key-value object.
+//
+// Layout:  [KvObject header][key bytes][value bytes]
+//
+// The header carries the access-frequency counter and sampling-epoch
+// timestamp that DIDO's workload profiler uses for its lightweight Zipf
+// skewness estimation (paper Section IV-B: "A counter and a timestamp are
+// added to each key-value object"), plus the intrusive LRU links used by the
+// slab allocator's eviction policy.
+struct KvObject {
+  uint32_t key_size = 0;
+  uint32_t value_size = 0;
+  uint32_t version = 0;
+  uint8_t slab_class = 0;
+  uint8_t flags = 0;
+  uint16_t reserved = 0;
+
+  // Profiler sampling state (paper Section IV-B).
+  std::atomic<uint32_t> freq_counter{0};
+  std::atomic<uint64_t> sample_epoch{0};
+
+  // Intrusive LRU list links, owned by the slab class the object lives in.
+  KvObject* lru_prev = nullptr;
+  KvObject* lru_next = nullptr;
+
+  uint8_t* KeyData() { return reinterpret_cast<uint8_t*>(this + 1); }
+  const uint8_t* KeyData() const {
+    return reinterpret_cast<const uint8_t*>(this + 1);
+  }
+  uint8_t* ValueData() { return KeyData() + key_size; }
+  const uint8_t* ValueData() const { return KeyData() + key_size; }
+
+  std::string_view Key() const {
+    return std::string_view(reinterpret_cast<const char*>(KeyData()), key_size);
+  }
+  std::string_view Value() const {
+    return std::string_view(reinterpret_cast<const char*>(ValueData()),
+                            value_size);
+  }
+
+  // Total allocation footprint of an object with the given payload sizes.
+  static size_t FootprintFor(uint32_t key_size, uint32_t value_size) {
+    return sizeof(KvObject) + key_size + value_size;
+  }
+  size_t Footprint() const { return FootprintFor(key_size, value_size); }
+
+  // Records one access in the current sampling epoch: resets the counter to
+  // 1 when the object was last touched in an older epoch, otherwise
+  // increments it.  Returns the post-update count.
+  uint32_t RecordAccess(uint64_t epoch) {
+    if (sample_epoch.load(std::memory_order_relaxed) != epoch) {
+      sample_epoch.store(epoch, std::memory_order_relaxed);
+      freq_counter.store(1, std::memory_order_relaxed);
+      return 1;
+    }
+    return freq_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+};
+
+static_assert(sizeof(KvObject) % 8 == 0, "KvObject header must stay aligned");
+
+}  // namespace dido
+
+#endif  // DIDO_MEM_KV_OBJECT_H_

@@ -1,0 +1,29 @@
+#include "mem/memory_manager.h"
+
+namespace dido {
+
+Result<KvObject*> MemoryManager::AllocateObject(
+    std::string_view key, std::string_view value, uint32_t version,
+    std::vector<SlabAllocator::EvictedObject>* evictions) {
+  const size_t evicted_before = evictions != nullptr ? evictions->size() : 0;
+  Result<KvObject*> result =
+      allocator_.Allocate(key, value, version, evictions);
+  if (!result.ok()) {
+    counters_.failed_allocations += 1;
+    return result;
+  }
+  counters_.allocations += 1;
+  if (evictions != nullptr) {
+    counters_.evictions += evictions->size() - evicted_before;
+  }
+  return result;
+}
+
+void MemoryManager::FreeObject(KvObject* object) {
+  allocator_.Free(object);
+  counters_.frees += 1;
+}
+
+void MemoryManager::TouchObject(KvObject* object) { allocator_.Touch(object); }
+
+}  // namespace dido

@@ -1,0 +1,54 @@
+#ifndef DIDO_MEM_MEMORY_MANAGER_H_
+#define DIDO_MEM_MEMORY_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "mem/slab_allocator.h"
+
+namespace dido {
+
+// Implements the MM task of the query-processing workflow: memory
+// allocation for new key-value objects and eviction when the store is full
+// (paper Section III-A, task (3)).  One SET that triggers an eviction yields
+// an Insert index operation for the new object and a Delete for the victim
+// — the 95:5:5 Search/Insert/Delete mix behind Figure 6.
+class MemoryManager {
+ public:
+  struct Counters {
+    uint64_t allocations = 0;
+    uint64_t evictions = 0;
+    uint64_t frees = 0;
+    uint64_t failed_allocations = 0;
+  };
+
+  explicit MemoryManager(const SlabAllocator::Options& options)
+      : allocator_(options) {}
+
+  // Allocates storage for (key, value).  Evicted victims are appended to
+  // `evictions` so the caller can generate index Remove operations.
+  Result<KvObject*> AllocateObject(
+      std::string_view key, std::string_view value, uint32_t version,
+      std::vector<SlabAllocator::EvictedObject>* evictions);
+
+  // Releases an object (DELETE query path, or replacing a SET).
+  void FreeObject(KvObject* object);
+
+  // GET path: LRU bump.
+  void TouchObject(KvObject* object);
+
+  SlabAllocator& allocator() { return allocator_; }
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = Counters(); }
+
+ private:
+  SlabAllocator allocator_;
+  Counters counters_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_MEM_MEMORY_MANAGER_H_

@@ -1,0 +1,165 @@
+#include "mem/slab_allocator.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "common/logging.h"
+
+namespace dido {
+
+SlabAllocator::SlabAllocator(const Options& options) : options_(options) {
+  DIDO_CHECK_GE(options_.page_bytes, options_.min_chunk_bytes);
+  DIDO_CHECK_GT(options_.growth_factor, 1.0);
+  // A little slack past the arena end keeps bounded reads through stale
+  // index candidates (live concurrent mode) inside the allocation.
+  arena_ = std::make_unique<uint8_t[]>(options_.arena_bytes + 512);
+  // Build size classes from min_chunk_bytes up to page_bytes.
+  size_t chunk = options_.min_chunk_bytes;
+  while (chunk <= options_.page_bytes) {
+    SlabClass cls;
+    cls.chunk_bytes = chunk;
+    classes_.push_back(std::move(cls));
+    const size_t next = static_cast<size_t>(
+        static_cast<double>(chunk) * options_.growth_factor);
+    chunk = std::max(next, chunk + 8);
+  }
+  DIDO_CHECK_GT(classes_.size(), 0u);
+}
+
+SlabAllocator::~SlabAllocator() = default;
+
+int SlabAllocator::ClassForSize(size_t footprint) const {
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].chunk_bytes >= footprint) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool SlabAllocator::GrowClassLocked(SlabClass& cls) {
+  if (arena_offset_ + options_.page_bytes > options_.arena_bytes) return false;
+  uint8_t* page = arena_.get() + arena_offset_;
+  arena_offset_ += options_.page_bytes;
+  const size_t chunks = options_.page_bytes / cls.chunk_bytes;
+  cls.free_chunks.reserve(cls.free_chunks.size() + chunks);
+  for (size_t i = 0; i < chunks; ++i) {
+    cls.free_chunks.push_back(page + i * cls.chunk_bytes);
+  }
+  cls.pages += 1;
+  return true;
+}
+
+void SlabAllocator::LruUnlink(SlabClass& cls, KvObject* object) {
+  if (object->lru_prev != nullptr) {
+    object->lru_prev->lru_next = object->lru_next;
+  } else {
+    cls.lru_head = object->lru_next;
+  }
+  if (object->lru_next != nullptr) {
+    object->lru_next->lru_prev = object->lru_prev;
+  } else {
+    cls.lru_tail = object->lru_prev;
+  }
+  object->lru_prev = nullptr;
+  object->lru_next = nullptr;
+}
+
+void SlabAllocator::LruPushFront(SlabClass& cls, KvObject* object) {
+  object->lru_prev = nullptr;
+  object->lru_next = cls.lru_head;
+  if (cls.lru_head != nullptr) cls.lru_head->lru_prev = object;
+  cls.lru_head = object;
+  if (cls.lru_tail == nullptr) cls.lru_tail = object;
+}
+
+Result<KvObject*> SlabAllocator::Allocate(
+    std::string_view key, std::string_view value, uint32_t version,
+    std::vector<EvictedObject>* evictions) {
+  const size_t footprint = KvObject::FootprintFor(
+      static_cast<uint32_t>(key.size()), static_cast<uint32_t>(value.size()));
+  const int class_index = ClassForSize(footprint);
+  if (class_index < 0) {
+    return Status::InvalidArgument("object larger than the largest slab class");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  SlabClass& cls = classes_[static_cast<size_t>(class_index)];
+
+  if (cls.free_chunks.empty() && !GrowClassLocked(cls)) {
+    // Arena exhausted: evict the LRU object of this class (memcached
+    // semantics; this is what turns a SET into Insert+Delete index ops).
+    KvObject* victim = cls.lru_tail;
+    if (victim == nullptr) {
+      return Status::OutOfMemory("class has no evictable object");
+    }
+    if (evictions != nullptr) {
+      evictions->push_back(EvictedObject{std::string(victim->Key()), victim});
+    }
+    LruUnlink(cls, victim);
+    cls.live_objects -= 1;
+    cls.evictions += 1;
+    victim->~KvObject();
+    cls.free_chunks.push_back(reinterpret_cast<uint8_t*>(victim));
+  }
+
+  uint8_t* chunk = cls.free_chunks.back();
+  cls.free_chunks.pop_back();
+
+  KvObject* object = new (chunk) KvObject();
+  object->key_size = static_cast<uint32_t>(key.size());
+  object->value_size = static_cast<uint32_t>(value.size());
+  object->version = version;
+  object->slab_class = static_cast<uint8_t>(class_index);
+  std::memcpy(object->KeyData(), key.data(), key.size());
+  std::memcpy(object->ValueData(), value.data(), value.size());
+  LruPushFront(cls, object);
+  cls.live_objects += 1;
+  return object;
+}
+
+void SlabAllocator::Free(KvObject* object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SlabClass& cls = classes_[object->slab_class];
+  LruUnlink(cls, object);
+  cls.live_objects -= 1;
+  object->~KvObject();
+  cls.free_chunks.push_back(reinterpret_cast<uint8_t*>(object));
+}
+
+void SlabAllocator::Touch(KvObject* object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SlabClass& cls = classes_[object->slab_class];
+  LruUnlink(cls, object);
+  LruPushFront(cls, object);
+}
+
+SlabAllocator::Stats SlabAllocator::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.arena_bytes = options_.arena_bytes;
+  stats.used_bytes = arena_offset_;
+  for (const SlabClass& cls : classes_) {
+    ClassStats cs;
+    cs.chunk_bytes = cls.chunk_bytes;
+    cs.pages = cls.pages;
+    cs.live_objects = cls.live_objects;
+    cs.free_chunks = cls.free_chunks.size();
+    cs.evictions = cls.evictions;
+    stats.live_objects += cls.live_objects;
+    stats.total_evictions += cls.evictions;
+    stats.classes.push_back(cs);
+  }
+  return stats;
+}
+
+uint64_t SlabAllocator::CapacityForObject(uint32_t key_size,
+                                          uint32_t value_size) const {
+  const size_t footprint = KvObject::FootprintFor(key_size, value_size);
+  const int class_index = ClassForSize(footprint);
+  if (class_index < 0) return 0;
+  const size_t chunk = classes_[static_cast<size_t>(class_index)].chunk_bytes;
+  const uint64_t pages = options_.arena_bytes / options_.page_bytes;
+  return pages * (options_.page_bytes / chunk);
+}
+
+}  // namespace dido

@@ -1,0 +1,121 @@
+#ifndef DIDO_MEM_SLAB_ALLOCATOR_H_
+#define DIDO_MEM_SLAB_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mem/kv_object.h"
+
+namespace dido {
+
+// memcached-style slab allocator with per-class LRU eviction.
+//
+// A fixed arena is carved into pages; pages are assigned on demand to size
+// classes growing by a constant factor.  Each class maintains a free list
+// and an intrusive LRU list of live objects.  When the arena is exhausted
+// and the class has no free chunk, the least recently used object of that
+// class is evicted — producing exactly the Insert+Delete index-operation
+// pair per SET that the paper's Figure 6 analysis builds on.
+class SlabAllocator {
+ public:
+  struct Options {
+    size_t arena_bytes = 64ull << 20;   // total key-value memory
+    size_t page_bytes = 1ull << 20;     // slab page granularity
+    size_t min_chunk_bytes = 64;        // smallest size class
+    double growth_factor = 2.0;         // size-class spacing
+  };
+
+  struct ClassStats {
+    size_t chunk_bytes = 0;
+    uint64_t pages = 0;
+    uint64_t live_objects = 0;
+    uint64_t free_chunks = 0;
+    uint64_t evictions = 0;
+  };
+
+  struct Stats {
+    size_t arena_bytes = 0;
+    size_t used_bytes = 0;  // bytes in pages assigned to classes
+    uint64_t live_objects = 0;
+    uint64_t total_evictions = 0;
+    std::vector<ClassStats> classes;
+  };
+
+  explicit SlabAllocator(const Options& options);
+  ~SlabAllocator();
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  // Identity of an object evicted to satisfy an allocation.  `key` is a
+  // copy of the victim's key (taken before its chunk is reused) and
+  // `stale_ptr` is the chunk address the index entry still points at; the
+  // caller must issue CuckooHashTable::Remove(HashKey(key), stale_ptr) to
+  // drop the stale entry.
+  struct EvictedObject {
+    std::string key;
+    KvObject* stale_ptr = nullptr;
+  };
+
+  // Allocates and initializes an object for (key, value).  If the arena is
+  // full, evicts the LRU object of the matching class first; the victim's
+  // identity is appended to `evictions` if non-null so the caller can issue
+  // the corresponding index Delete.  Fails with kOutOfMemory only if the
+  // object exceeds the largest class or the class has no evictable object.
+  Result<KvObject*> Allocate(std::string_view key, std::string_view value,
+                             uint32_t version,
+                             std::vector<EvictedObject>* evictions);
+
+  // Returns the object's chunk to its class free list and unlinks it from
+  // the LRU list.  The pointer must come from Allocate.
+  void Free(KvObject* object);
+
+  // Moves the object to the MRU end of its class LRU list (GET path).
+  void Touch(KvObject* object);
+
+  // Number of size classes.
+  size_t num_classes() const { return classes_.size(); }
+
+  // Index of the class an object of `footprint` bytes lands in, or -1.
+  int ClassForSize(size_t footprint) const;
+
+  Stats GetStats() const;
+
+  // Estimated number of objects of the given payload sizes the configured
+  // arena can hold (used to size key spaces in benchmarks).
+  uint64_t CapacityForObject(uint32_t key_size, uint32_t value_size) const;
+
+ private:
+  struct SlabClass {
+    size_t chunk_bytes = 0;
+    std::vector<uint8_t*> free_chunks;
+    KvObject* lru_head = nullptr;  // most recently used
+    KvObject* lru_tail = nullptr;  // least recently used
+    uint64_t pages = 0;
+    uint64_t live_objects = 0;
+    uint64_t evictions = 0;
+  };
+
+  // Assigns one fresh page to `cls`, splitting it into free chunks.
+  // Returns false when the arena is exhausted.
+  bool GrowClassLocked(SlabClass& cls);
+
+  // Unlinks `object` from its class LRU list.
+  static void LruUnlink(SlabClass& cls, KvObject* object);
+  // Pushes `object` to the MRU end.
+  static void LruPushFront(SlabClass& cls, KvObject* object);
+
+  Options options_;
+  std::unique_ptr<uint8_t[]> arena_;
+  size_t arena_offset_ = 0;  // bump pointer for page assignment
+  std::vector<SlabClass> classes_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_MEM_SLAB_ALLOCATOR_H_

@@ -1,0 +1,131 @@
+#include "net/codec.h"
+
+#include <cstring>
+
+namespace dido {
+namespace {
+
+void AppendU16(uint16_t v, std::vector<uint8_t>* buffer) {
+  buffer->push_back(static_cast<uint8_t>(v & 0xFF));
+  buffer->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void AppendU32(uint32_t v, std::vector<uint8_t>* buffer) {
+  for (int i = 0; i < 4; ++i) {
+    buffer->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint16_t ReadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+size_t EncodedRequestSize(QueryOp op, size_t key_size, size_t value_size) {
+  return kRecordHeaderBytes + key_size + (op == QueryOp::kSet ? value_size : 0);
+}
+
+size_t EncodeRequest(QueryOp op, std::string_view key, std::string_view value,
+                     std::vector<uint8_t>* buffer) {
+  const size_t before = buffer->size();
+  buffer->push_back(static_cast<uint8_t>(op));
+  buffer->push_back(0);  // reserved
+  AppendU16(static_cast<uint16_t>(key.size()), buffer);
+  AppendU32(op == QueryOp::kSet ? static_cast<uint32_t>(value.size()) : 0,
+            buffer);
+  buffer->insert(buffer->end(), key.begin(), key.end());
+  if (op == QueryOp::kSet) {
+    buffer->insert(buffer->end(), value.begin(), value.end());
+  }
+  return buffer->size() - before;
+}
+
+size_t EncodeResponse(QueryOp op, ResponseStatus status, std::string_view key,
+                      std::string_view value, std::vector<uint8_t>* buffer) {
+  const size_t before = buffer->size();
+  buffer->push_back(static_cast<uint8_t>(op));
+  buffer->push_back(static_cast<uint8_t>(status));
+  AppendU16(static_cast<uint16_t>(key.size()), buffer);
+  AppendU32(static_cast<uint32_t>(value.size()), buffer);
+  buffer->insert(buffer->end(), key.begin(), key.end());
+  buffer->insert(buffer->end(), value.begin(), value.end());
+  return buffer->size() - before;
+}
+
+Status DecodeRequest(const uint8_t* data, size_t size, size_t* offset,
+                     RequestView* out) {
+  if (*offset + kRecordHeaderBytes > size) {
+    return Status::InvalidArgument("truncated request header");
+  }
+  const uint8_t* p = data + *offset;
+  const uint8_t op_raw = p[0];
+  if (op_raw > static_cast<uint8_t>(QueryOp::kDelete)) {
+    return Status::InvalidArgument("unknown request op");
+  }
+  out->op = static_cast<QueryOp>(op_raw);
+  const uint16_t key_len = ReadU16(p + 2);
+  const uint32_t value_len = ReadU32(p + 4);
+  if (key_len == 0) return Status::InvalidArgument("empty key");
+  if (out->op != QueryOp::kSet && value_len != 0) {
+    return Status::InvalidArgument("value on non-SET request");
+  }
+  const size_t body = static_cast<size_t>(key_len) + value_len;
+  if (*offset + kRecordHeaderBytes + body > size) {
+    return Status::InvalidArgument("truncated request body");
+  }
+  const char* key_start =
+      reinterpret_cast<const char*>(p + kRecordHeaderBytes);
+  out->key = std::string_view(key_start, key_len);
+  out->value = std::string_view(key_start + key_len, value_len);
+  *offset += kRecordHeaderBytes + body;
+  return Status::Ok();
+}
+
+Status DecodeResponse(const uint8_t* data, size_t size, size_t* offset,
+                      ResponseView* out) {
+  if (*offset + kRecordHeaderBytes > size) {
+    return Status::InvalidArgument("truncated response header");
+  }
+  const uint8_t* p = data + *offset;
+  const uint8_t op_raw = p[0];
+  if (op_raw > static_cast<uint8_t>(QueryOp::kDelete)) {
+    return Status::InvalidArgument("unknown response op");
+  }
+  if (p[1] > static_cast<uint8_t>(ResponseStatus::kError)) {
+    return Status::InvalidArgument("unknown response status");
+  }
+  out->op = static_cast<QueryOp>(op_raw);
+  out->status = static_cast<ResponseStatus>(p[1]);
+  const uint16_t key_len = ReadU16(p + 2);
+  const uint32_t value_len = ReadU32(p + 4);
+  const size_t body = static_cast<size_t>(key_len) + value_len;
+  if (*offset + kRecordHeaderBytes + body > size) {
+    return Status::InvalidArgument("truncated response body");
+  }
+  const char* key_start =
+      reinterpret_cast<const char*>(p + kRecordHeaderBytes);
+  out->key = std::string_view(key_start, key_len);
+  out->value = std::string_view(key_start + key_len, value_len);
+  *offset += kRecordHeaderBytes + body;
+  return Status::Ok();
+}
+
+Status DecodeAllRequests(const uint8_t* data, size_t size,
+                         std::vector<RequestView>* out) {
+  size_t offset = 0;
+  while (offset < size) {
+    RequestView view;
+    DIDO_RETURN_IF_ERROR(DecodeRequest(data, size, &offset, &view));
+    out->push_back(view);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dido

@@ -1,0 +1,77 @@
+#ifndef DIDO_NET_CODEC_H_
+#define DIDO_NET_CODEC_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/workload.h"
+
+namespace dido {
+
+// Compact binary key-value protocol carried inside simulated network frames.
+//
+// Request record:   u8 op | u8 reserved | u16 key_len | u32 value_len
+//                   | key bytes | value bytes (SET only)
+// Response record:  u8 op | u8 status   | u16 key_len | u32 value_len
+//                   | key bytes | value bytes (GET hit only)
+//
+// Multiple records are packed back-to-back in one frame, mirroring the
+// paper's setup where "queries and their responses are batched in an
+// Ethernet frame as many as possible" (Section V-A).
+
+constexpr size_t kRecordHeaderBytes = 8;
+constexpr size_t kMaxFramePayload = 1472;  // UDP over 1500-byte Ethernet MTU
+
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  kMiss = 1,
+  kStored = 2,
+  kDeleted = 3,
+  kError = 4,
+};
+
+// Decoded view of one request; string_views alias the frame buffer.
+struct RequestView {
+  QueryOp op = QueryOp::kGet;
+  std::string_view key;
+  std::string_view value;  // empty unless SET
+};
+
+// Decoded view of one response record.
+struct ResponseView {
+  QueryOp op = QueryOp::kGet;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string_view key;
+  std::string_view value;
+};
+
+// Appends one encoded request to `buffer`.  `value` must be empty unless op
+// is kSet.  Returns the encoded size in bytes.
+size_t EncodeRequest(QueryOp op, std::string_view key, std::string_view value,
+                     std::vector<uint8_t>* buffer);
+
+// Encoded size of a request without materializing it.
+size_t EncodedRequestSize(QueryOp op, size_t key_size, size_t value_size);
+
+// Appends one encoded response to `buffer`.
+size_t EncodeResponse(QueryOp op, ResponseStatus status, std::string_view key,
+                      std::string_view value, std::vector<uint8_t>* buffer);
+
+// Parses the request record at `data[offset...]`.  On success advances
+// *offset past the record and fills *out.
+Status DecodeRequest(const uint8_t* data, size_t size, size_t* offset,
+                     RequestView* out);
+
+// Parses the response record at `data[offset...]`.
+Status DecodeResponse(const uint8_t* data, size_t size, size_t* offset,
+                      ResponseView* out);
+
+// Parses every request record in a frame payload.
+Status DecodeAllRequests(const uint8_t* data, size_t size,
+                         std::vector<RequestView>* out);
+
+}  // namespace dido
+
+#endif  // DIDO_NET_CODEC_H_

@@ -1,0 +1,98 @@
+#include "net/sim_nic.h"
+
+namespace dido {
+
+bool FrameRing::Push(Frame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frames_.size() >= capacity_) {
+    dropped_ += 1;
+    return false;
+  }
+  frames_.push_back(std::move(frame));
+  return true;
+}
+
+std::optional<Frame> FrameRing::Pop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frames_.empty()) return std::nullopt;
+  Frame frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+size_t FrameRing::PopBatch(size_t max_frames, std::vector<Frame>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t popped = 0;
+  while (popped < max_frames && !frames_.empty()) {
+    out->push_back(std::move(frames_.front()));
+    frames_.pop_front();
+    ++popped;
+  }
+  return popped;
+}
+
+size_t FrameRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+uint64_t FrameRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+TrafficSource::TrafficSource(WorkloadGenerator* generator, uint64_t seed)
+    : generator_(generator) {
+  (void)seed;
+  const DatasetSpec& dataset = generator_->spec().dataset;
+  key_buffer_.resize(dataset.key_size);
+  value_buffer_.resize(dataset.value_size);
+}
+
+size_t TrafficSource::FillFrame(Frame* frame, std::vector<Query>* queries_out) {
+  frame->payload.clear();
+  const DatasetSpec& dataset = generator_->spec().dataset;
+  size_t packed = 0;
+  for (;;) {
+    const Query q = has_pending_ ? pending_ : generator_->Next();
+    has_pending_ = false;
+    const size_t record_size = EncodedRequestSize(
+        q.op, dataset.key_size, q.op == QueryOp::kSet ? dataset.value_size : 0);
+    if (packed > 0 &&
+        frame->payload.size() + record_size > kMaxFramePayload) {
+      // Does not fit: carry the query over to the next frame.
+      pending_ = q;
+      has_pending_ = true;
+      break;
+    }
+    MaterializeKey(q.key_index, dataset.key_size, key_buffer_.data());
+    std::string_view key(reinterpret_cast<const char*>(key_buffer_.data()),
+                         dataset.key_size);
+    std::string_view value;
+    if (q.op == QueryOp::kSet) {
+      MaterializeValue(q.key_index, dataset.value_size, ++version_,
+                       value_buffer_.data());
+      value = std::string_view(
+          reinterpret_cast<const char*>(value_buffer_.data()),
+          dataset.value_size);
+    }
+    EncodeRequest(q.op, key, value, &frame->payload);
+    if (queries_out != nullptr) queries_out->push_back(q);
+    ++packed;
+  }
+  return packed;
+}
+
+size_t TrafficSource::Generate(size_t num_queries, FrameRing* ring) {
+  size_t frames = 0;
+  size_t generated = 0;
+  while (generated < num_queries) {
+    Frame frame;
+    generated += FillFrame(&frame, nullptr);
+    ring->Push(std::move(frame));
+    ++frames;
+  }
+  return frames;
+}
+
+}  // namespace dido

@@ -1,0 +1,88 @@
+#ifndef DIDO_NET_SIM_NIC_H_
+#define DIDO_NET_SIM_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/codec.h"
+#include "workload/workload.h"
+
+namespace dido {
+
+// One simulated network frame (UDP payload).
+struct Frame {
+  std::vector<uint8_t> payload;
+};
+
+// Bounded MPSC frame ring standing in for a NIC queue.  The RV task pops
+// receive frames from it; the SD task pushes response frames to it.
+class FrameRing {
+ public:
+  explicit FrameRing(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Enqueues a frame; drops it (returns false) when the ring is full, which
+  // models NIC queue overflow under overload.
+  bool Push(Frame frame);
+
+  // Pops the oldest frame, or nullopt when empty.
+  std::optional<Frame> Pop();
+
+  // Pops up to `max_frames` frames into `out` (appended).
+  size_t PopBatch(size_t max_frames, std::vector<Frame>* out);
+
+  size_t size() const;
+  uint64_t dropped() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Frame> frames_;
+  uint64_t dropped_ = 0;
+};
+
+// Client-side traffic source: turns a WorkloadGenerator's query stream into
+// protocol frames, packing as many records per frame as fit (paper V-A).
+class TrafficSource {
+ public:
+  TrafficSource(WorkloadGenerator* generator, uint64_t seed = 7);
+
+  const WorkloadGenerator& generator() const { return *generator_; }
+
+  // Builds one full frame of encoded requests.  Returns the number of
+  // queries packed.  Out-params may be null.
+  size_t FillFrame(Frame* frame, std::vector<Query>* queries_out);
+
+  // Convenience: generates exactly `num_queries` queries into frames pushed
+  // onto `ring`.  Returns the number of frames produced.
+  size_t Generate(size_t num_queries, FrameRing* ring);
+
+ private:
+  WorkloadGenerator* generator_;
+  std::vector<uint8_t> key_buffer_;
+  std::vector<uint8_t> value_buffer_;
+  uint32_t version_ = 0;
+  bool has_pending_ = false;
+  Query pending_{};
+};
+
+// Simulated NIC: an RX ring filled by a TrafficSource and a TX ring drained
+// by an (optional) response validator.
+class SimNic {
+ public:
+  explicit SimNic(size_t ring_capacity = 4096)
+      : rx_(ring_capacity), tx_(ring_capacity) {}
+
+  FrameRing& rx() { return rx_; }
+  FrameRing& tx() { return tx_; }
+
+ private:
+  FrameRing rx_;
+  FrameRing tx_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_NET_SIM_NIC_H_

@@ -1,0 +1,15 @@
+#include "pipeline/batch.h"
+
+namespace dido {
+
+void QueryBatch::Clear() {
+  frames.clear();
+  queries.clear();
+  evictions.clear();
+  deferred_frees.clear();
+  staging.clear();
+  responses.clear();
+  measurements = BatchMeasurements();
+}
+
+}  // namespace dido

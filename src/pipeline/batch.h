@@ -1,0 +1,102 @@
+#ifndef DIDO_PIPELINE_BATCH_H_
+#define DIDO_PIPELINE_BATCH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/kv_object.h"
+#include "mem/slab_allocator.h"
+#include "net/codec.h"
+#include "net/sim_nic.h"
+#include "pipeline/pipeline_config.h"
+
+namespace dido {
+
+// Per-query state threaded through the pipeline tasks.  Key/value views
+// alias the batch's input frames, which stay alive for the whole batch.
+struct QueryRecord {
+  QueryOp op = QueryOp::kGet;
+  std::string_view key;
+  std::string_view value;  // SET payload
+  uint64_t hash = 0;
+
+  // IN.S output: signature-matching candidates awaiting KC verification.
+  std::array<KvObject*, 4> candidates{};
+  uint8_t num_candidates = 0;
+
+  // KC output (GET) or MM output (SET).
+  KvObject* object = nullptr;
+  // Set once IN.I has replaced this SET key's old version in place.
+  bool old_version_unlinked = false;
+
+  // RD staging-buffer slice (when RD and WR run in different stages).
+  uint32_t staged_offset = 0;
+  uint32_t staged_len = 0;
+
+  ResponseStatus status = ResponseStatus::kError;
+};
+
+// Everything measured while actually executing a batch.  These counters are
+// the "measured workload characteristics" that parameterize the timing
+// simulation, and (for the previous batch) the input of the profiler.
+struct BatchMeasurements {
+  uint64_t num_queries = 0;
+  uint64_t num_frames = 0;
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;  // replacements + explicit deletes + evictions
+  uint64_t evictions = 0;
+  uint64_t failed_inserts = 0;
+  double sum_key_bytes = 0.0;
+  double sum_value_bytes = 0.0;      // over SET payloads
+  double sum_hit_value_bytes = 0.0;  // over GET-hit objects
+  // Access-frequency counter values sampled by KC (every Nth GET hit),
+  // feeding the profiler's Zipf-skew estimator (paper Section IV-B).
+  std::vector<uint32_t> sampled_frequencies;
+  // Average cuckoo buckets probed per operation in this batch.
+  double search_probes = 0.0;
+  double insert_probes = 0.0;
+  double delete_probes = 0.0;
+
+  double get_ratio() const {
+    return num_queries > 0 ? static_cast<double>(gets) / num_queries : 0.0;
+  }
+  double hit_ratio() const {
+    return gets > 0 ? static_cast<double>(hits) / gets : 1.0;
+  }
+};
+
+// One batch of queries moving through the pipeline.  The active pipeline
+// configuration is embedded in the batch (paper Section III-B1: "we embed
+// the pipeline information into each batch"), so a configuration change
+// applies cleanly at a batch boundary.
+struct QueryBatch {
+  uint64_t sequence = 0;
+  PipelineConfig config;
+
+  std::vector<Frame> frames;         // owned input frames
+  std::vector<QueryRecord> queries;  // parsed queries (PP output)
+
+  // Eviction victims recorded by MM, resolved by IN.D.
+  std::vector<SlabAllocator::EvictedObject> evictions;
+  // Objects unlinked from the index this batch; freed when the batch
+  // retires (one-batch grace period for concurrent readers).
+  std::vector<KvObject*> deferred_frees;
+
+  std::vector<uint8_t> staging;   // RD output buffer (sequentialized values)
+  std::vector<Frame> responses;   // WR output frames
+
+  BatchMeasurements measurements;
+
+  size_t size() const { return queries.size(); }
+  void Clear();
+};
+
+}  // namespace dido
+
+#endif  // DIDO_PIPELINE_BATCH_H_

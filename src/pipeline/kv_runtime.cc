@@ -1,0 +1,333 @@
+#include "pipeline/kv_runtime.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dido {
+
+KvRuntime::KvRuntime(const Options& options)
+    : index_(std::make_unique<CuckooHashTable>(options.index)),
+      memory_(std::make_unique<MemoryManager>(options.slab)) {}
+
+uint64_t KvRuntime::Preload(const DatasetSpec& dataset,
+                            uint64_t target_objects) {
+  std::vector<uint8_t> key_buffer(dataset.key_size);
+  std::vector<uint8_t> value_buffer(dataset.value_size);
+  std::vector<SlabAllocator::EvictedObject> evictions;
+  uint64_t stored = 0;
+  for (uint64_t i = 0; i < target_objects; ++i) {
+    MaterializeKey(i, dataset.key_size, key_buffer.data());
+    MaterializeValue(i, dataset.value_size, 0, value_buffer.data());
+    const std::string_view key(reinterpret_cast<const char*>(key_buffer.data()),
+                               dataset.key_size);
+    const std::string_view value(
+        reinterpret_cast<const char*>(value_buffer.data()),
+        dataset.value_size);
+    evictions.clear();
+    Result<KvObject*> object =
+        memory_->AllocateObject(key, value, 0, &evictions);
+    if (!object.ok()) break;
+    // If preloading wrapped the arena, drop the victims' stale entries.
+    for (const SlabAllocator::EvictedObject& victim : evictions) {
+      index_->Remove(CuckooHashTable::HashKey(victim.key), victim.stale_ptr)
+          .ok();
+    }
+    KvObject* replaced = nullptr;
+    const Status status =
+        index_->Insert(CuckooHashTable::HashKey(key), *object, &replaced);
+    if (!status.ok()) {
+      memory_->FreeObject(*object);
+      break;
+    }
+    if (replaced != nullptr) memory_->FreeObject(replaced);
+    ++stored;
+  }
+  return index_->LiveEntries();
+}
+
+Status KvRuntime::RunPacketProcessing(QueryBatch* batch) {
+  counter_snapshot_ = index_->counters();
+  BatchMeasurements& m = batch->measurements;
+  for (const Frame& frame : batch->frames) {
+    size_t offset = 0;
+    while (offset < frame.payload.size()) {
+      RequestView view;
+      DIDO_RETURN_IF_ERROR(DecodeRequest(frame.payload.data(),
+                                         frame.payload.size(), &offset,
+                                         &view));
+      QueryRecord record;
+      record.op = view.op;
+      record.key = view.key;
+      record.value = view.value;
+      record.hash = CuckooHashTable::HashKey(view.key);
+      m.sum_key_bytes += static_cast<double>(view.key.size());
+      if (view.op == QueryOp::kGet) {
+        m.gets += 1;
+      } else if (view.op == QueryOp::kSet) {
+        m.sets += 1;
+        m.sum_value_bytes += static_cast<double>(view.value.size());
+      }
+      batch->queries.push_back(record);
+    }
+  }
+  m.num_queries = batch->queries.size();
+  m.num_frames = batch->frames.size();
+  return Status::Ok();
+}
+
+void KvRuntime::RunMemoryManagement(QueryBatch* batch, size_t begin,
+                                    size_t end) {
+  for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
+    QueryRecord& record = batch->queries[i];
+    if (record.op != QueryOp::kSet) continue;
+    Result<KvObject*> object = memory_->AllocateObject(
+        record.key, record.value, ++version_counter_, &batch->evictions);
+    if (!object.ok()) {
+      record.status = ResponseStatus::kError;
+      continue;
+    }
+    record.object = *object;
+    record.status = ResponseStatus::kStored;
+  }
+}
+
+void KvRuntime::RunIndexSearch(QueryBatch* batch, size_t begin, size_t end) {
+  for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
+    QueryRecord& record = batch->queries[i];
+    if (record.op != QueryOp::kGet) continue;
+    KvObject* candidates[4];
+    const int n = index_->Search(record.hash, candidates, 4);
+    record.num_candidates = static_cast<uint8_t>(n);
+    for (int c = 0; c < n; ++c) {
+      record.candidates[static_cast<size_t>(c)] = candidates[c];
+    }
+  }
+}
+
+void KvRuntime::RunIndexInsert(QueryBatch* batch, size_t begin, size_t end) {
+  BatchMeasurements& m = batch->measurements;
+  for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
+    QueryRecord& record = batch->queries[i];
+    if (record.op != QueryOp::kSet || record.object == nullptr) continue;
+    KvObject* replaced = nullptr;
+    const Status status = index_->Insert(record.hash, record.object, &replaced);
+    if (!status.ok()) {
+      batch->deferred_frees.push_back(record.object);
+      record.object = nullptr;
+      record.status = ResponseStatus::kError;
+      m.failed_inserts += 1;
+      continue;
+    }
+    m.inserts += 1;
+    if (replaced != nullptr) {
+      // Old version superseded in place; one-batch grace before the free.
+      batch->deferred_frees.push_back(replaced);
+      record.old_version_unlinked = true;
+      m.deletes += 1;  // counted as the Delete the paper pairs with a SET
+    }
+  }
+}
+
+void KvRuntime::RunIndexDelete(QueryBatch* batch, size_t begin, size_t end) {
+  BatchMeasurements& m = batch->measurements;
+  if (begin == 0) {
+    // Eviction stubs recorded by MM: drop the stale index entries.
+    for (const SlabAllocator::EvictedObject& victim : batch->evictions) {
+      if (index_
+              ->Remove(CuckooHashTable::HashKey(victim.key), victim.stale_ptr)
+              .ok()) {
+        m.deletes += 1;
+      }
+    }
+  }
+  for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
+    QueryRecord& record = batch->queries[i];
+    if (record.op == QueryOp::kDelete) {
+      KvObject* removed = nullptr;
+      if (index_->Delete(record.hash, record.key, &removed).ok()) {
+        batch->deferred_frees.push_back(removed);
+        record.status = ResponseStatus::kDeleted;
+        m.deletes += 1;
+      } else {
+        record.status = ResponseStatus::kMiss;
+      }
+      continue;
+    }
+  }
+}
+
+void KvRuntime::RunKeyComparison(QueryBatch* batch, size_t begin, size_t end) {
+  BatchMeasurements& m = batch->measurements;
+  for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
+    QueryRecord& record = batch->queries[i];
+    if (record.op != QueryOp::kGet) continue;
+    record.object = nullptr;
+    for (uint8_t c = 0; c < record.num_candidates; ++c) {
+      KvObject* candidate = record.candidates[c];
+      if (candidate != nullptr && candidate->Key() == record.key) {
+        record.object = candidate;
+        break;
+      }
+    }
+    if (record.object != nullptr) {
+      record.status = ResponseStatus::kOk;
+      const uint32_t freq = record.object->RecordAccess(sampling_epoch_);
+      if ((m.hits & (kFrequencySampleStride - 1)) == 0) {
+        m.sampled_frequencies.push_back(freq);
+      }
+      memory_->TouchObject(record.object);
+      m.hits += 1;
+      m.sum_hit_value_bytes += static_cast<double>(record.object->value_size);
+    } else {
+      record.status = ResponseStatus::kMiss;
+      m.misses += 1;
+    }
+  }
+}
+
+void KvRuntime::RunReadValue(QueryBatch* batch, size_t begin, size_t end) {
+  const bool staged =
+      !batch->config.SameStage(TaskKind::kRd, TaskKind::kWr);
+  if (!staged) return;  // WR reads the object directly in the same stage
+  for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
+    QueryRecord& record = batch->queries[i];
+    if (record.op != QueryOp::kGet || record.object == nullptr) continue;
+    const std::string_view value = record.object->Value();
+    record.staged_offset = static_cast<uint32_t>(batch->staging.size());
+    record.staged_len = static_cast<uint32_t>(value.size());
+    batch->staging.insert(batch->staging.end(), value.begin(), value.end());
+  }
+}
+
+void KvRuntime::RunWriteResponse(QueryBatch* batch, size_t begin, size_t end) {
+  Frame current;
+  for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
+    QueryRecord& record = batch->queries[i];
+    std::string_view value;
+    ResponseStatus status = record.status;
+    if (record.op == QueryOp::kGet && record.object != nullptr) {
+      if (record.staged_len > 0) {
+        value = std::string_view(
+            reinterpret_cast<const char*>(batch->staging.data()) +
+                record.staged_offset,
+            record.staged_len);
+      } else {
+        value = record.object->Value();
+      }
+    }
+    const size_t needed = kRecordHeaderBytes + record.key.size() + value.size();
+    if (!current.payload.empty() &&
+        current.payload.size() + needed > kMaxFramePayload) {
+      batch->responses.push_back(std::move(current));
+      current = Frame();
+    }
+    EncodeResponse(record.op, status, record.key, value, &current.payload);
+  }
+  if (!current.payload.empty()) batch->responses.push_back(std::move(current));
+}
+
+void KvRuntime::RunRangeTask(TaskKind task, QueryBatch* batch, size_t begin,
+                             size_t end) {
+  switch (task) {
+    case TaskKind::kMm:
+      RunMemoryManagement(batch, begin, end);
+      return;
+    case TaskKind::kInSearch:
+      RunIndexSearch(batch, begin, end);
+      return;
+    case TaskKind::kInInsert:
+      RunIndexInsert(batch, begin, end);
+      return;
+    case TaskKind::kInDelete:
+      RunIndexDelete(batch, begin, end);
+      return;
+    case TaskKind::kKc:
+      RunKeyComparison(batch, begin, end);
+      return;
+    case TaskKind::kRd:
+      RunReadValue(batch, begin, end);
+      return;
+    case TaskKind::kWr:
+      RunWriteResponse(batch, begin, end);
+      return;
+    case TaskKind::kRv:
+    case TaskKind::kPp:
+    case TaskKind::kSd:
+      DIDO_LOG(Fatal) << "task " << TaskKindName(task)
+                      << " is not a range task";
+  }
+}
+
+void KvRuntime::RetireBatch(QueryBatch* batch) {
+  for (KvObject* object : batch->deferred_frees) {
+    memory_->FreeObject(object);
+  }
+  batch->deferred_frees.clear();
+  batch->measurements.evictions = batch->evictions.size();
+
+  // Per-batch probe averages from the cuckoo counter deltas.
+  const CuckooHashTable::Counters& now = index_->counters();
+  BatchMeasurements& m = batch->measurements;
+  const uint64_t searches = now.searches - counter_snapshot_.searches;
+  const uint64_t inserts = now.inserts - counter_snapshot_.inserts;
+  const uint64_t deletes = now.deletes - counter_snapshot_.deletes;
+  m.search_probes =
+      searches > 0 ? static_cast<double>(now.search_buckets_probed -
+                                         counter_snapshot_.search_buckets_probed) /
+                         searches
+                   : 0.0;
+  m.insert_probes =
+      inserts > 0 ? static_cast<double>(now.insert_buckets_probed -
+                                        counter_snapshot_.insert_buckets_probed +
+                                        now.displacements -
+                                        counter_snapshot_.displacements) /
+                        inserts
+                  : 0.0;
+  m.delete_probes =
+      deletes > 0 ? static_cast<double>(now.delete_buckets_probed -
+                                        counter_snapshot_.delete_buckets_probed) /
+                        deletes
+                  : 0.0;
+}
+
+Status KvRuntime::Put(std::string_view key, std::string_view value) {
+  std::vector<SlabAllocator::EvictedObject> evictions;
+  Result<KvObject*> object =
+      memory_->AllocateObject(key, value, ++version_counter_, &evictions);
+  if (!object.ok()) return object.status();
+  for (const SlabAllocator::EvictedObject& victim : evictions) {
+    index_->Remove(CuckooHashTable::HashKey(victim.key), victim.stale_ptr)
+        .ok();
+  }
+  KvObject* replaced = nullptr;
+  const Status status =
+      index_->Insert(CuckooHashTable::HashKey(key), *object, &replaced);
+  if (!status.ok()) {
+    memory_->FreeObject(*object);
+    return status;
+  }
+  if (replaced != nullptr) memory_->FreeObject(replaced);
+  return Status::Ok();
+}
+
+Result<std::string> KvRuntime::GetValue(std::string_view key) {
+  KvObject* object =
+      index_->SearchVerified(CuckooHashTable::HashKey(key), key);
+  if (object == nullptr) return Status::NotFound();
+  object->RecordAccess(sampling_epoch_);
+  memory_->TouchObject(object);
+  return std::string(object->Value());
+}
+
+Status KvRuntime::DeleteKey(std::string_view key) {
+  KvObject* removed = nullptr;
+  DIDO_RETURN_IF_ERROR(
+      index_->Delete(CuckooHashTable::HashKey(key), key, &removed));
+  memory_->FreeObject(removed);
+  return Status::Ok();
+}
+
+uint64_t KvRuntime::live_objects() const { return index_->LiveEntries(); }
+
+}  // namespace dido

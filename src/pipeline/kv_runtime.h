@@ -1,0 +1,108 @@
+#ifndef DIDO_PIPELINE_KV_RUNTIME_H_
+#define DIDO_PIPELINE_KV_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "index/cuckoo_hash_table.h"
+#include "mem/memory_manager.h"
+#include "pipeline/batch.h"
+#include "pipeline/task.h"
+#include "workload/workload.h"
+
+namespace dido {
+
+// The shared key-value state of the store — the cuckoo index plus the slab
+// heap — together with the *functional* implementation of every pipeline
+// task.  This is the "hUMA" property made literal: whichever simulated
+// processor a task is scheduled on, it operates on this single shared state
+// through the same atomic operations, exactly as the CPU and the GPU of a
+// Kaveri APU operate on one coherent memory image.
+//
+// KvRuntime is intentionally device-agnostic: all timing lives in the
+// executor; RunTask only does the real work and updates the batch's
+// measured counters.
+class KvRuntime {
+ public:
+  // KC samples every Nth GET hit's frequency counter for the profiler.
+  static constexpr uint32_t kFrequencySampleStride = 8;  // power of two
+
+  struct Options {
+    SlabAllocator::Options slab;
+    CuckooHashTable::Options index;
+  };
+
+  explicit KvRuntime(const Options& options);
+
+  CuckooHashTable& index() { return *index_; }
+  MemoryManager& memory() { return *memory_; }
+
+  // Current profiler sampling epoch (bumped by the workload profiler).
+  uint64_t sampling_epoch() const { return sampling_epoch_; }
+  void set_sampling_epoch(uint64_t epoch) { sampling_epoch_ = epoch; }
+
+  // Loads `target_objects` objects of the dataset's sizes (keys
+  // 0..target-1), stopping early if memory fills up.  Returns the number
+  // actually stored.
+  uint64_t Preload(const DatasetSpec& dataset, uint64_t target_objects);
+
+  // --- batch-global tasks ---
+
+  // PP: parses every frame in the batch into QueryRecords and hashes keys.
+  Status RunPacketProcessing(QueryBatch* batch);
+
+  // --- range tasks: operate on queries [begin, end) ---
+
+  // MM: allocates objects for SETs, recording evictions.
+  void RunMemoryManagement(QueryBatch* batch, size_t begin, size_t end);
+  // IN.S: collects index candidates for GETs.
+  void RunIndexSearch(QueryBatch* batch, size_t begin, size_t end);
+  // IN.I: publishes SET objects in the index.
+  void RunIndexInsert(QueryBatch* batch, size_t begin, size_t end);
+  // IN.D: explicit DELETE queries and eviction stubs.  A SET's superseded
+  // version is unlinked atomically by the Insert CAS (as in Mega-KV's
+  // in-place index update), so there is never a window in which the key is
+  // absent; the unlink is nonetheless *counted* as the Delete operation the
+  // paper pairs with every SET, and its cost is charged to the IN.D task
+  // wherever the configuration places it.
+  void RunIndexDelete(QueryBatch* batch, size_t begin, size_t end);
+  // KC: verifies candidates by full-key comparison; bumps LRU + sampling.
+  void RunKeyComparison(QueryBatch* batch, size_t begin, size_t end);
+  // RD: copies values into the staging buffer (only when RD and WR live in
+  // different stages; otherwise it just validates reachability).
+  void RunReadValue(QueryBatch* batch, size_t begin, size_t end);
+  // WR: encodes response records into response frames.
+  void RunWriteResponse(QueryBatch* batch, size_t begin, size_t end);
+
+  // Dispatches a range task by kind (used by the executor and by work
+  // stealing).  RV/PP/SD are not dispatchable here.
+  void RunRangeTask(TaskKind task, QueryBatch* batch, size_t begin,
+                    size_t end);
+
+  // Retires the batch: performs deferred frees and finalizes probe
+  // averages in the measurements.
+  void RetireBatch(QueryBatch* batch);
+
+  // --- direct (non-pipelined) API used by DidoStore and tests ---
+
+  Status Put(std::string_view key, std::string_view value);
+  Result<std::string> GetValue(std::string_view key);
+  Status DeleteKey(std::string_view key);
+  uint64_t live_objects() const;
+
+ private:
+  std::unique_ptr<CuckooHashTable> index_;
+  std::unique_ptr<MemoryManager> memory_;
+  uint64_t sampling_epoch_ = 1;
+  uint32_t version_counter_ = 0;
+
+  // Cuckoo counter snapshots for per-batch probe averaging.
+  CuckooHashTable::Counters counter_snapshot_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_PIPELINE_KV_RUNTIME_H_

@@ -1,0 +1,209 @@
+#include "pipeline/pipeline_config.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dido {
+
+bool StageSpec::Contains(TaskKind task) const {
+  return std::find(tasks.begin(), tasks.end(), task) != tasks.end();
+}
+
+PipelineConfig PipelineConfig::MegaKv() {
+  PipelineConfig config;
+  config.gpu_begin = 3;  // chain[3] == IN.S
+  config.gpu_end = 4;
+  config.insert_device = Device::kGpu;
+  config.delete_device = Device::kGpu;
+  config.work_stealing = false;
+  config.static_cpu_assignment = true;
+  return config;
+}
+
+PipelineConfig PipelineConfig::DidoDefault() {
+  PipelineConfig config = MegaKv();
+  config.work_stealing = true;
+  config.static_cpu_assignment = false;
+  return config;
+}
+
+Device PipelineConfig::DeviceFor(TaskKind task) const {
+  if (task == TaskKind::kInInsert) {
+    return HasGpuStage() ? insert_device : Device::kCpu;
+  }
+  if (task == TaskKind::kInDelete) {
+    return HasGpuStage() ? delete_device : Device::kCpu;
+  }
+  const int idx = ChainIndexOf(task);
+  DIDO_CHECK_GE(idx, 0);
+  return (idx >= gpu_begin && idx < gpu_end) ? Device::kGpu : Device::kCpu;
+}
+
+bool PipelineConfig::SameStage(TaskKind a, TaskKind b) const {
+  const int ia = ChainIndexOf(a);
+  const int ib = ChainIndexOf(b);
+  DIDO_CHECK_GE(ia, 0);
+  DIDO_CHECK_GE(ib, 0);
+  auto stage_of = [this](int idx) {
+    if (idx < gpu_begin) return 0;
+    if (idx < gpu_end) return 1;
+    return 2;
+  };
+  int sa = stage_of(ia);
+  int sb = stage_of(ib);
+  if (!HasGpuStage()) {
+    // Pure-CPU pipeline: stage 0 and stage 2 merge into one stage.
+    if (sa == 2) sa = 0;
+    if (sb == 2) sb = 0;
+  }
+  return sa == sb;
+}
+
+std::vector<StageSpec> PipelineConfig::Stages(int total_cpu_cores) const {
+  DIDO_CHECK(Valid()) << ToString();
+  std::vector<StageSpec> stages;
+
+  StageSpec pre;
+  pre.device = Device::kCpu;
+  for (int i = 0; i < gpu_begin; ++i) pre.tasks.push_back(kTaskChain[static_cast<size_t>(i)]);
+
+  StageSpec gpu;
+  gpu.device = Device::kGpu;
+  for (int i = gpu_begin; i < gpu_end; ++i) gpu.tasks.push_back(kTaskChain[static_cast<size_t>(i)]);
+
+  StageSpec post;
+  post.device = Device::kCpu;
+  for (int i = gpu_end; i < kChainLength; ++i) post.tasks.push_back(kTaskChain[static_cast<size_t>(i)]);
+
+  // Floating index operations.  They consume MM's output (allocated
+  // objects, eviction records), so they must land in a stage that executes
+  // at or after MM: GPU placements append a kernel to the GPU stage (valid
+  // only when that stage is not entirely before MM); CPU placements go to
+  // the first CPU stage containing MM, falling back to the post-GPU stage.
+  // Delete precedes Insert so a SET's old version is unlinked first.
+  const bool pre_has_mm = gpu_begin > 2;  // chain[2] == MM
+  auto add_floating = [&](TaskKind task, Device device) {
+    if (device == Device::kGpu && HasGpuStage()) {
+      gpu.tasks.push_back(task);
+    } else if (pre_has_mm || !HasGpuStage()) {
+      pre.tasks.push_back(task);
+    } else {
+      post.tasks.push_back(task);
+    }
+  };
+  add_floating(TaskKind::kInDelete, delete_device);
+  add_floating(TaskKind::kInInsert, insert_device);
+
+  if (!HasGpuStage()) {
+    // Merge everything into a single CPU stage.
+    StageSpec all;
+    all.device = Device::kCpu;
+    all.tasks = pre.tasks;
+    all.tasks.insert(all.tasks.end(), post.tasks.begin(), post.tasks.end());
+    all.cpu_cores = total_cpu_cores;
+    stages.push_back(std::move(all));
+    return stages;
+  }
+
+  stages.push_back(std::move(pre));
+  stages.push_back(std::move(gpu));
+  if (!stages.back().Contains(TaskKind::kSd) && !post.tasks.empty()) {
+    stages.push_back(std::move(post));
+  }
+
+  // Divide CPU cores evenly among CPU stages.
+  int cpu_stages = 0;
+  for (const StageSpec& s : stages) {
+    if (s.device == Device::kCpu) ++cpu_stages;
+  }
+  if (cpu_stages > 0) {
+    const int base = std::max(1, total_cpu_cores / cpu_stages);
+    int remainder = std::max(0, total_cpu_cores - base * cpu_stages);
+    for (StageSpec& s : stages) {
+      if (s.device != Device::kCpu) continue;
+      s.cpu_cores = base + (remainder > 0 ? 1 : 0);
+      if (remainder > 0) --remainder;
+    }
+  }
+  return stages;
+}
+
+bool PipelineConfig::Valid() const {
+  if (gpu_begin < 1 || gpu_end < gpu_begin || gpu_end > kChainLength - 1) {
+    return false;
+  }
+  if (!HasGpuStage() &&
+      (insert_device == Device::kGpu || delete_device == Device::kGpu)) {
+    return false;
+  }
+  // A GPU stage that ends at or before MM (chain index 2) runs entirely
+  // before allocation, so it cannot host the floating index operations.
+  if (gpu_end <= 2 &&
+      (insert_device == Device::kGpu || delete_device == Device::kGpu)) {
+    return false;
+  }
+  // MM (chain index 2) is pinned to the CPU: the slab allocator and its LRU
+  // lists are lock-based host structures, like the NIC-facing RV/SD.
+  if (gpu_begin <= 2 && gpu_end > 2) return false;
+  return true;
+}
+
+std::string PipelineConfig::ToString() const {
+  std::ostringstream os;
+  const std::vector<StageSpec> stages = Stages(4);
+  for (size_t s = 0; s < stages.size(); ++s) {
+    if (s > 0) os << "|";
+    os << "[";
+    for (size_t t = 0; t < stages[s].tasks.size(); ++t) {
+      if (t > 0) os << ",";
+      os << TaskKindName(stages[s].tasks[t]);
+    }
+    os << "]" << (stages[s].device == Device::kCpu ? "cpu" : "gpu");
+  }
+  os << " ins=" << (DeviceFor(TaskKind::kInInsert) == Device::kCpu ? "cpu" : "gpu");
+  os << " del=" << (DeviceFor(TaskKind::kInDelete) == Device::kCpu ? "cpu" : "gpu");
+  os << " ws=" << (work_stealing ? 1 : 0);
+  return os.str();
+}
+
+std::vector<PipelineConfig> EnumerateConfigs(bool work_stealing) {
+  std::vector<PipelineConfig> configs;
+  for (int begin = 1; begin <= kChainLength - 1; ++begin) {
+    for (int end = begin; end <= kChainLength - 1; ++end) {
+      const bool has_gpu = end > begin;
+      for (Device ins : {Device::kCpu, Device::kGpu}) {
+        for (Device del : {Device::kCpu, Device::kGpu}) {
+          if (!has_gpu && (ins == Device::kGpu || del == Device::kGpu)) {
+            continue;
+          }
+          PipelineConfig config;
+          config.gpu_begin = begin;
+          config.gpu_end = end;
+          config.insert_device = ins;
+          config.delete_device = del;
+          config.work_stealing = work_stealing;
+          if (!config.Valid()) continue;
+          configs.push_back(config);
+          if (!has_gpu) break;  // pure-CPU config is unique per (begin,end)
+        }
+        if (!has_gpu) break;
+      }
+    }
+  }
+  // Deduplicate pure-CPU cuts: every gpu_begin == gpu_end collapses to the
+  // same single-stage pipeline.
+  std::vector<PipelineConfig> out;
+  bool pure_cpu_seen = false;
+  for (const PipelineConfig& c : configs) {
+    if (!c.HasGpuStage()) {
+      if (pure_cpu_seen) continue;
+      pure_cpu_seen = true;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace dido

@@ -1,0 +1,100 @@
+#ifndef DIDO_PIPELINE_PIPELINE_CONFIG_H_
+#define DIDO_PIPELINE_PIPELINE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "pipeline/task.h"
+#include "sim/device_spec.h"
+
+namespace dido {
+
+// A fully materialized pipeline stage: a processor plus the ordered task set
+// it executes each scheduling interval.
+struct StageSpec {
+  Device device = Device::kCpu;
+  std::vector<TaskKind> tasks;
+  int cpu_cores = 0;  // CPU cores granted (ignored for GPU stages)
+
+  bool Contains(TaskKind task) const;
+};
+
+// A pipeline partitioning scheme plus the index-operation assignment policy
+// — everything the cost model searches over (paper Sections III-B1/III-B2).
+//
+// The eight-task chain [RV PP MM IN.S KC RD WR SD] is cut into
+//   stage 1 = chain[0, gpu_begin)  on the CPU
+//   stage 2 = chain[gpu_begin, gpu_end) on the GPU
+//   stage 3 = chain[gpu_end, 8)    on the CPU
+// with RV pinned to stage 1 and SD to stage 3 (the paper fixes both to the
+// CPU).  gpu_begin == gpu_end yields a pure-CPU single-stage pipeline.
+// Insert and Delete float: each is independently placed on the CPU (charged
+// to the first CPU stage, where MM produces the operations) or on the GPU
+// stage.
+struct PipelineConfig {
+  int gpu_begin = 3;
+  int gpu_end = 4;
+  Device insert_device = Device::kGpu;
+  Device delete_device = Device::kGpu;
+  bool work_stealing = true;
+  // Static per-stage CPU thread assignment (Mega-KV: a fixed receiver and
+  // sender thread pair per pipeline instance).  DIDO configurations leave
+  // this false, letting the simulated scheduler time-share the four cores
+  // across CPU stages in proportion to their load.
+  bool static_cpu_assignment = false;
+
+  // Mega-KV's static pipeline: [RV,PP,MM]cpu -> [IN]gpu -> [KC,RD,WR,SD]cpu
+  // with all three index operations on the GPU and no work stealing.
+  static PipelineConfig MegaKv();
+
+  // DIDO's default starting configuration (Mega-KV partitioning with work
+  // stealing enabled; the adaption controller re-plans from here).
+  static PipelineConfig DidoDefault();
+
+  bool HasGpuStage() const { return gpu_end > gpu_begin; }
+
+  // Processor that executes the given task under this configuration.
+  Device DeviceFor(TaskKind task) const;
+
+  // True when `a` and `b` execute in the same pipeline stage (the condition
+  // for task affinity to apply, Section III-B1).
+  bool SameStage(TaskKind a, TaskKind b) const;
+
+  // Materializes the stage list.  `total_cpu_cores` are divided evenly among
+  // CPU stages (at least one each).
+  std::vector<StageSpec> Stages(int total_cpu_cores) const;
+
+  // Structural validity: cut points in range, RV/SD on CPU, floating tasks
+  // on the GPU only when a GPU stage exists.
+  bool Valid() const;
+
+  // e.g. "[RV,PP,MM]cpu|[IN.S,KC,RD]gpu|[WR,SD]cpu ins=cpu del=cpu ws=1".
+  std::string ToString() const;
+
+  // Identity on the searchable fields (used by adaption-change detection).
+  friend bool operator==(const PipelineConfig& a, const PipelineConfig& b) {
+    return a.gpu_begin == b.gpu_begin && a.gpu_end == b.gpu_end &&
+           a.insert_device == b.insert_device &&
+           a.delete_device == b.delete_device &&
+           a.work_stealing == b.work_stealing &&
+           a.static_cpu_assignment == b.static_cpu_assignment;
+  }
+};
+
+// Per-stage scheduling interval that keeps the average system latency of a
+// `num_stages` pipeline within `latency_cap_us` under periodical scheduling
+// (one interval of queueing plus one per stage).
+inline Micros SchedulingIntervalUs(Micros latency_cap_us, size_t num_stages) {
+  return latency_cap_us / (static_cast<double>(num_stages) + 1.0);
+}
+
+// Enumerates the entire configuration space the cost model searches:
+// all valid (gpu_begin, gpu_end) cuts x index-op placements.  Work stealing
+// is set to `work_stealing` on every emitted config.
+std::vector<PipelineConfig> EnumerateConfigs(bool work_stealing);
+
+}  // namespace dido
+
+#endif  // DIDO_PIPELINE_PIPELINE_CONFIG_H_

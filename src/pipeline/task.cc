@@ -1,0 +1,38 @@
+#include "pipeline/task.h"
+
+namespace dido {
+
+std::string_view TaskKindName(TaskKind task) {
+  switch (task) {
+    case TaskKind::kRv:
+      return "RV";
+    case TaskKind::kPp:
+      return "PP";
+    case TaskKind::kMm:
+      return "MM";
+    case TaskKind::kInSearch:
+      return "IN.S";
+    case TaskKind::kInInsert:
+      return "IN.I";
+    case TaskKind::kInDelete:
+      return "IN.D";
+    case TaskKind::kKc:
+      return "KC";
+    case TaskKind::kRd:
+      return "RD";
+    case TaskKind::kWr:
+      return "WR";
+    case TaskKind::kSd:
+      return "SD";
+  }
+  return "??";
+}
+
+int ChainIndexOf(TaskKind task) {
+  for (int i = 0; i < kChainLength; ++i) {
+    if (kTaskChain[static_cast<size_t>(i)] == task) return i;
+  }
+  return -1;
+}
+
+}  // namespace dido

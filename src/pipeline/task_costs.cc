@@ -1,0 +1,250 @@
+#include "pipeline/task_costs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "mem/kv_object.h"
+#include "sim/cache_model.h"
+
+namespace dido {
+namespace {
+
+// Average in-memory object footprint for hot-set sizing.
+double AvgObjectBytes(const WorkloadProfileData& p) {
+  return static_cast<double>(sizeof(KvObject)) + p.avg_key_bytes +
+         p.avg_value_bytes;
+}
+
+// Fraction of object accesses served from the executing device's cache due
+// to key popularity (paper Section IV-B "The second factor is key
+// popularity").
+double HotFraction(Device device, const WorkloadProfileData& p,
+                   const ApuSpec& spec) {
+  return HotAccessFraction(spec.device(device), AvgObjectBytes(p),
+                           p.num_objects, p.zipf, p.zipf_skew);
+}
+
+// Average bytes of one encoded request record.
+double AvgRequestBytes(const WorkloadProfileData& p) {
+  return 8.0 + p.avg_key_bytes + p.set_ratio() * p.avg_value_bytes;
+}
+
+// Average bytes of one encoded response record.
+double AvgResponseBytes(const WorkloadProfileData& p) {
+  return 8.0 + p.avg_key_bytes +
+         p.get_ratio * p.hit_ratio * p.avg_value_bytes;
+}
+
+}  // namespace
+
+const TaskInstructionCosts& DefaultInstructionCosts() {
+  static const TaskInstructionCosts* kCosts = new TaskInstructionCosts();
+  return *kCosts;
+}
+
+double TaskItemCount(TaskKind task, const WorkloadProfileData& profile) {
+  const double n = static_cast<double>(profile.batch_n);
+  switch (task) {
+    case TaskKind::kRv:
+    case TaskKind::kSd:
+      return std::ceil(n / std::max(1.0, profile.queries_per_frame));
+    case TaskKind::kPp:
+    case TaskKind::kWr:
+      return n;
+    case TaskKind::kMm:
+      return n * profile.set_ratio();
+    case TaskKind::kInSearch:
+    case TaskKind::kKc:
+      return n * profile.get_ratio;
+    case TaskKind::kInInsert:
+      return n * profile.inserts_per_query;
+    case TaskKind::kInDelete:
+      return n * profile.deletes_per_query;
+    case TaskKind::kRd:
+      return n * profile.get_ratio * profile.hit_ratio;
+  }
+  return 0.0;
+}
+
+AccessCounts TaskAccessCounts(TaskKind task, Device device,
+                              const WorkloadProfileData& profile,
+                              const PipelineConfig& config,
+                              const ApuSpec& spec,
+                              const TaskCostFlags& flags) {
+  const TaskInstructionCosts& ic = DefaultInstructionCosts();
+  const DeviceSpec& dev = spec.device(device);
+  AccessCounts counts;
+  double scalar_inst = 0.0;  // branchy control-flow work
+  double byte_inst = 0.0;    // per-byte work (parse/copy/frame), which
+                             // diverges badly across SIMT lanes
+
+  switch (task) {
+    case TaskKind::kRv:
+    case TaskKind::kSd:
+      // Charged via per-frame unit costs in StageTimeNoInterference; the
+      // access-count path never sees them.
+      return counts;
+
+    case TaskKind::kPp: {
+      scalar_inst = ic.pp_base;
+      byte_inst = ic.pp_per_key_byte * profile.avg_key_bytes;
+      // The frame payload is streamed sequentially: the first line of each
+      // frame is a cold DRAM access, the rest arrive via the prefetcher.
+      counts.cache_accesses = TotalLines(AvgRequestBytes(profile), dev);
+      counts.mem_accesses = 1.0 / std::max(1.0, profile.queries_per_frame);
+      break;
+    }
+
+    case TaskKind::kMm: {
+      const double eviction_ratio =
+          profile.set_ratio() > 0.0
+              ? std::min(1.0, profile.deletes_per_query / profile.set_ratio())
+              : 0.0;
+      scalar_inst = ic.mm_base + eviction_ratio * ic.mm_eviction;
+      byte_inst = ic.mm_per_value_byte * profile.avg_value_bytes;
+      // Touch the (recycled) chunk: first line cold, payload copy streams.
+      counts.mem_accesses = 1.0;
+      counts.cache_accesses =
+          TrailingLines(AvgObjectBytes(profile), dev) + 2.0;  // + freelist/LRU
+      break;
+    }
+
+    case TaskKind::kInSearch: {
+      scalar_inst = ic.in_search;
+      // Index buckets are modelled as pure random DRAM accesses, as the
+      // paper does (hot-set caching applies to key-value objects only).
+      counts.mem_accesses = profile.search_probes;
+      break;
+    }
+
+    case TaskKind::kInInsert: {
+      scalar_inst = ic.in_insert;
+      counts.mem_accesses = profile.insert_probes;
+      counts.serialized_mem = true;  // CAS publish chain, no wave overlap
+      break;
+    }
+
+    case TaskKind::kInDelete: {
+      scalar_inst = ic.in_delete;
+      counts.mem_accesses = profile.delete_probes;
+      counts.serialized_mem = true;
+      break;
+    }
+
+    case TaskKind::kKc: {
+      scalar_inst = ic.kc_base;
+      byte_inst = ic.kc_per_key_byte * profile.avg_key_bytes;
+      const double hot =
+          flags.model_popularity ? HotFraction(device, profile, spec) : 0.0;
+      const double key_span = static_cast<double>(sizeof(KvObject)) +
+                              profile.avg_key_bytes;
+      // First line of the object: DRAM unless the object is hot-cached.
+      counts.mem_accesses = profile.hit_ratio * (1.0 - hot);
+      counts.cache_accesses =
+          profile.hit_ratio * (hot + TrailingLines(key_span, dev));
+      break;
+    }
+
+    case TaskKind::kRd: {
+      scalar_inst = ic.rd_base;
+      byte_inst = ic.rd_per_value_byte * profile.avg_value_bytes;
+      const double value_span = profile.avg_value_bytes;
+      if (flags.model_affinity &&
+          config.SameStage(TaskKind::kKc, TaskKind::kRd)) {
+        // Task affinity (Section III-B1): KC already pulled the object into
+        // this processor's cache, so the value read is all cache hits.
+        counts.cache_accesses = TotalLines(value_span, dev);
+      } else {
+        const double hot =
+            flags.model_popularity ? HotFraction(device, profile, spec) : 0.0;
+        counts.mem_accesses = 1.0 - hot;
+        counts.cache_accesses = hot + TrailingLines(value_span, dev);
+      }
+      if (!config.SameStage(TaskKind::kRd, TaskKind::kWr)) {
+        // RD stages the value into a sequential buffer for the WR stage
+        // (random read -> sequential write transformation).
+        counts.cache_accesses += TotalLines(value_span, dev);
+      }
+      break;
+    }
+
+    case TaskKind::kWr: {
+      const double carried =
+          profile.get_ratio * profile.hit_ratio * profile.avg_value_bytes;
+      scalar_inst = ic.wr_base;
+      byte_inst = ic.wr_per_value_byte * carried;
+      // Response framing is a sequential write.
+      counts.cache_accesses = TotalLines(AvgResponseBytes(profile), dev);
+      if (config.SameStage(TaskKind::kRd, TaskKind::kWr)) {
+        // Source value still cache-resident from RD in the same stage.
+        counts.cache_accesses += profile.get_ratio * profile.hit_ratio *
+                                 TotalLines(profile.avg_value_bytes, dev);
+      } else {
+        // Read from the staging buffer: sequential, prefetch-friendly.
+        counts.cache_accesses += profile.get_ratio * profile.hit_ratio *
+                                 TotalLines(profile.avg_value_bytes, dev);
+        counts.mem_accesses += 1.0 / std::max(1.0, profile.queries_per_frame);
+      }
+      break;
+    }
+  }
+
+  if (device == Device::kGpu) {
+    counts.instructions = scalar_inst * ic.gpu_inflation +
+                          byte_inst * ic.gpu_inflation * ic.gpu_byte_divergence;
+  } else {
+    counts.instructions = scalar_inst + byte_inst;
+  }
+  return counts;
+}
+
+Micros StageTimeNoInterference(const StageSpec& stage,
+                               const WorkloadProfileData& profile,
+                               const PipelineConfig& config,
+                               const TimingModel& timing,
+                               const TaskCostFlags& flags) {
+  const ApuSpec& spec = timing.spec();
+  Micros total = 0.0;
+  const int cores =
+      stage.device == Device::kCpu
+          ? (stage.cpu_cores > 0 ? stage.cpu_cores : spec.cpu.cores)
+          : spec.gpu.cores;
+
+  for (TaskKind task : stage.tasks) {
+    const double items = TaskItemCount(task, profile);
+    if (items <= 0.0) continue;
+    if (task == TaskKind::kRv) {
+      total += items * spec.rv_us_per_frame / cores;
+      continue;
+    }
+    if (task == TaskKind::kSd) {
+      total += items * spec.sd_us_per_frame / cores;
+      continue;
+    }
+    const AccessCounts counts =
+        TaskAccessCounts(task, stage.device, profile, config, spec, flags);
+    total += timing.TaskTime(stage.device, counts,
+                             static_cast<uint64_t>(std::ceil(items)), cores);
+  }
+  return total;
+}
+
+double StageIntensity(const StageSpec& stage,
+                      const WorkloadProfileData& profile,
+                      const PipelineConfig& config, const TimingModel& timing,
+                      Micros stage_time_us) {
+  if (stage_time_us <= 0.0) return 0.0;
+  const ApuSpec& spec = timing.spec();
+  double accesses = 0.0;
+  for (TaskKind task : stage.tasks) {
+    const double items = TaskItemCount(task, profile);
+    if (items <= 0.0) continue;
+    const AccessCounts counts =
+        TaskAccessCounts(task, stage.device, profile, config, spec);
+    accesses += counts.mem_accesses * items;
+  }
+  return accesses / stage_time_us;
+}
+
+}  // namespace dido

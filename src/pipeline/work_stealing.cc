@@ -1,0 +1,82 @@
+#include "pipeline/work_stealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dido {
+
+StealTagArray::StealTagArray(uint64_t num_queries)
+    : num_chunks_((num_queries + kChunkQueries - 1) / kChunkQueries),
+      tags_(std::make_unique<std::atomic<uint8_t>[]>(
+          std::max<uint64_t>(num_chunks_, 1))) {
+  for (uint64_t i = 0; i < num_chunks_; ++i) {
+    tags_[i].store(kFree, std::memory_order_relaxed);
+  }
+}
+
+int64_t StealTagArray::Claim(Device device) {
+  const uint8_t tag = device == Device::kCpu ? 1 : 2;
+  // Start from the shared cursor; on CAS failure the chunk belongs to the
+  // other device and we move on.
+  for (uint64_t i = cursor_.load(std::memory_order_relaxed);
+       i < num_chunks_; ++i) {
+    uint8_t expected = kFree;
+    if (tags_[i].compare_exchange_strong(expected, tag,
+                                         std::memory_order_acq_rel)) {
+      cursor_.store(i + 1, std::memory_order_relaxed);
+      (device == Device::kCpu ? claimed_cpu_ : claimed_gpu_)
+          .fetch_add(1, std::memory_order_relaxed);
+      return static_cast<int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+int StealTagArray::OwnerTag(uint64_t chunk) const {
+  DIDO_CHECK_LT(chunk, num_chunks_);
+  const uint8_t tag = tags_[chunk].load(std::memory_order_acquire);
+  return tag == kFree ? -1 : static_cast<int>(tag);
+}
+
+uint64_t StealTagArray::ClaimedBy(Device device) const {
+  return (device == Device::kCpu ? claimed_cpu_ : claimed_gpu_)
+      .load(std::memory_order_relaxed);
+}
+
+bool StealTagArray::Exhausted() const {
+  return claimed_cpu_.load(std::memory_order_relaxed) +
+             claimed_gpu_.load(std::memory_order_relaxed) >=
+         num_chunks_;
+}
+
+StealSplit SolveStealSplit(uint64_t total_chunks, Micros owner_chunk_us,
+                           Micros owner_residual_us, Micros thief_start_us,
+                           Micros thief_chunk_us, Micros sync_us) {
+  StealSplit split;
+  const double k = static_cast<double>(total_chunks);
+  const double co = std::max(owner_chunk_us, 1e-9);
+  const double ct = std::max(thief_chunk_us, 1e-9) + sync_us;
+  // Owner finish:  (K - kt) * co + residual
+  // Thief finish:  start + kt * ct
+  // Balance point: kt = (K*co + residual - start) / (co + ct)
+  const double ideal =
+      (k * co + owner_residual_us - thief_start_us) / (co + ct);
+  const double bounded = std::clamp(ideal, 0.0, k);
+  split.thief_chunks = static_cast<uint64_t>(std::floor(bounded));
+  const double owner_finish =
+      (k - static_cast<double>(split.thief_chunks)) * co + owner_residual_us;
+  const double thief_finish =
+      thief_start_us + static_cast<double>(split.thief_chunks) * ct;
+  split.finish_us = std::max(owner_finish, thief_finish);
+  // Stealing must never be worse than not stealing.
+  const double no_steal = k * co + owner_residual_us;
+  if (split.finish_us >= no_steal) {
+    split.thief_chunks = 0;
+    split.finish_us = no_steal;
+  }
+  return split;
+}
+
+}  // namespace dido

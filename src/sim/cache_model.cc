@@ -1,0 +1,41 @@
+#include "sim/cache_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace dido {
+
+uint64_t CachedObjectCount(const DeviceSpec& device, double avg_object_bytes) {
+  if (avg_object_bytes <= 0.0) return 0;
+  return static_cast<uint64_t>(static_cast<double>(device.cache_bytes) /
+                               avg_object_bytes);
+}
+
+double HotAccessFraction(const DeviceSpec& device, double avg_object_bytes,
+                         uint64_t num_objects, bool zipf_distribution,
+                         double zipf_skew) {
+  if (num_objects == 0) return 0.0;
+  const uint64_t cached = CachedObjectCount(device, avg_object_bytes);
+  if (cached >= num_objects) return 1.0;
+  if (!zipf_distribution) {
+    return static_cast<double>(cached) / static_cast<double>(num_objects);
+  }
+  ZipfGenerator zipf(num_objects, zipf_skew);
+  return zipf.TopFraction(cached);
+}
+
+double TrailingLines(double object_bytes, const DeviceSpec& device) {
+  const double lines =
+      std::ceil(object_bytes / static_cast<double>(device.cache_line_bytes));
+  return std::max(0.0, lines - 1.0);
+}
+
+double TotalLines(double object_bytes, const DeviceSpec& device) {
+  return std::max(
+      1.0,
+      std::ceil(object_bytes / static_cast<double>(device.cache_line_bytes)));
+}
+
+}  // namespace dido

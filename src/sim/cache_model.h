@@ -1,0 +1,36 @@
+#ifndef DIDO_SIM_CACHE_MODEL_H_
+#define DIDO_SIM_CACHE_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/device_spec.h"
+
+namespace dido {
+
+// Analytic cache-behaviour helpers shared by the pipeline simulator and the
+// cost model (paper Section IV-B, "Key-Value Objects" and "key popularity").
+
+// Number of key-value objects of `avg_object_bytes` that fit in the
+// device's cache.
+uint64_t CachedObjectCount(const DeviceSpec& device, double avg_object_bytes);
+
+// P: the fraction of object accesses that hit cached hot objects.  For a
+// Zipf(skew) popularity this is the mass of the top-n' ranks; for a uniform
+// popularity it is simply n'/n.  (Paper: "we estimate the portion of memory
+// accesses that are turned into cache accesses as P = sum f_i / sum f_j".)
+double HotAccessFraction(const DeviceSpec& device, double avg_object_bytes,
+                         uint64_t num_objects, bool zipf_distribution,
+                         double zipf_skew);
+
+// Cache lines an object of `object_bytes` spans beyond its first line.
+// The paper charges the first line of an object as one DRAM access and the
+// remaining ceil(L/C - 1) lines as prefetched cache accesses.
+double TrailingLines(double object_bytes, const DeviceSpec& device);
+
+// All cache lines of the object (first included) — the cost of re-reading
+// an object that an affine predecessor task already pulled into cache.
+double TotalLines(double object_bytes, const DeviceSpec& device);
+
+}  // namespace dido
+
+#endif  // DIDO_SIM_CACHE_MODEL_H_

@@ -1,0 +1,76 @@
+#include "sim/device_spec.h"
+
+namespace dido {
+
+std::string_view DeviceName(Device device) {
+  return device == Device::kCpu ? "CPU" : "GPU";
+}
+
+ApuSpec DefaultKaveriSpec() {
+  ApuSpec spec;
+
+  spec.cpu.name = "Kaveri-CPU";
+  spec.cpu.freq_ghz = 3.7;
+  spec.cpu.cores = 4;
+  spec.cpu.ipc = 2.0;
+  spec.cpu.simd_width = 1;
+  spec.cpu.max_waves_per_cu = 1;
+  spec.cpu.mem_latency_ns = 100.0;
+  spec.cpu.mem_level_parallelism = 1.2;  // modest out-of-order miss overlap
+  spec.cpu.cache_latency_ns = 6.0;
+  spec.cpu.cache_bytes = 4ull << 20;  // 2 x 2 MB L2
+  spec.cpu.cache_line_bytes = 64;
+  spec.cpu.launch_overhead_us = 0.0;
+  spec.cpu.stream_bandwidth_gbps = 14.0;
+
+  spec.gpu.name = "Kaveri-GPU";
+  spec.gpu.freq_ghz = 0.72;
+  spec.gpu.cores = 8;  // compute units
+  spec.gpu.ipc = 1.0;  // one wavefront instruction per CU cycle
+  spec.gpu.simd_width = 64;
+  spec.gpu.max_waves_per_cu = 16;  // deep latency hiding for full batches
+  spec.gpu.mem_latency_ns = 350.0; // GPU path to DRAM is much longer
+  spec.gpu.mem_level_parallelism = 1.0;  // hiding comes from waves instead
+  spec.gpu.cache_latency_ns = 25.0;
+  spec.gpu.cache_bytes = 512ull << 10;
+  spec.gpu.cache_line_bytes = 64;
+  spec.gpu.launch_overhead_us = 10.0;  // OpenCL dispatch + sync on Kaveri
+  spec.gpu.stream_bandwidth_gbps = 10.0;  // shares the DDR3 bus with the CPU
+
+  return spec;
+}
+
+DiscreteSystemSpec DefaultDiscreteSpec() {
+  DiscreteSystemSpec spec;
+
+  spec.cpu.name = "E5-2650v2-x2";
+  spec.cpu.freq_ghz = 2.6;
+  spec.cpu.cores = 16;
+  spec.cpu.ipc = 2.5;
+  spec.cpu.simd_width = 1;
+  spec.cpu.max_waves_per_cu = 1;
+  spec.cpu.mem_latency_ns = 80.0;
+  spec.cpu.mem_level_parallelism = 2.0;
+  spec.cpu.cache_latency_ns = 5.0;
+  spec.cpu.cache_bytes = 40ull << 20;
+  spec.cpu.cache_line_bytes = 64;
+  spec.cpu.stream_bandwidth_gbps = 50.0;
+
+  spec.gpu.name = "GTX780-x2";
+  spec.gpu.freq_ghz = 0.9;
+  spec.gpu.cores = 24;  // SMX units (2 cards x 12)
+  spec.gpu.ipc = 1.0;
+  spec.gpu.simd_width = 64;
+  spec.gpu.max_waves_per_cu = 16;
+  spec.gpu.mem_latency_ns = 140.0;  // GDDR5 on-card
+  spec.gpu.mem_level_parallelism = 1.0;
+  spec.gpu.cache_latency_ns = 20.0;
+  spec.gpu.cache_bytes = 1536ull << 10;
+  spec.gpu.cache_line_bytes = 64;
+  spec.gpu.launch_overhead_us = 10.0;
+  spec.gpu.stream_bandwidth_gbps = 200.0;  // on-card GDDR5
+
+  return spec;
+}
+
+}  // namespace dido

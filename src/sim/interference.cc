@@ -1,0 +1,43 @@
+#include "sim/interference.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dido {
+
+InterferenceGrid::InterferenceGrid(const TimingModel& model, int resolution)
+    : resolution_(resolution),
+      max_intensity_(model.spec().memory.max_accesses_per_us * 1.5) {
+  DIDO_CHECK_GT(resolution, 0);
+  mu_cpu_.resize(static_cast<size_t>(resolution_) * resolution_);
+  mu_gpu_.resize(static_cast<size_t>(resolution_) * resolution_);
+  const double step = max_intensity_ / resolution_;
+  for (int own = 0; own < resolution_; ++own) {
+    for (int other = 0; other < resolution_; ++other) {
+      // Sample at bucket centers, emulating one microbenchmark run per
+      // (N_C, N_G) configuration.
+      const double own_i = (own + 0.5) * step;
+      const double other_i = (other + 0.5) * step;
+      const size_t idx = static_cast<size_t>(own) * resolution_ + other;
+      mu_cpu_[idx] = model.InterferenceFactor(Device::kCpu, own_i, other_i);
+      mu_gpu_[idx] = model.InterferenceFactor(Device::kGpu, own_i, other_i);
+    }
+  }
+}
+
+int InterferenceGrid::BucketFor(double intensity) const {
+  const double step = max_intensity_ / resolution_;
+  const int bucket = static_cast<int>(intensity / step);
+  return std::clamp(bucket, 0, resolution_ - 1);
+}
+
+double InterferenceGrid::Lookup(Device victim, double own_intensity,
+                                double other_intensity) const {
+  const size_t idx = static_cast<size_t>(BucketFor(own_intensity)) *
+                         resolution_ +
+                     BucketFor(other_intensity);
+  return victim == Device::kCpu ? mu_cpu_[idx] : mu_gpu_[idx];
+}
+
+}  // namespace dido

@@ -1,0 +1,43 @@
+#ifndef DIDO_SIM_INTERFERENCE_H_
+#define DIDO_SIM_INTERFERENCE_H_
+
+#include <vector>
+
+#include "sim/timing_model.h"
+
+namespace dido {
+
+// The paper measures the interference factor u^XPU_{N_C,N_G} with a
+// microbenchmark that generates N_C memory accesses on the CPU and N_G on
+// the GPU (Section IV-A).  This class reproduces that procedure against the
+// simulated memory system: it samples the platform at a fixed grid of
+// (cpu_intensity, gpu_intensity) points and answers later queries by nearest
+// -grid-point lookup.  The quantization is intentional — it is one of the
+// sources of cost-model error evaluated in Fig. 9, while the pipeline
+// simulator itself uses the continuous interference function.
+class InterferenceGrid {
+ public:
+  // Builds the grid by "running" the microbenchmark at resolution^2 points
+  // covering [0, max_intensity] on both axes.
+  InterferenceGrid(const TimingModel& model, int resolution = 8);
+
+  // Quantized u for `victim` under the given intensities (accesses/us).
+  double Lookup(Device victim, double own_intensity,
+                double other_intensity) const;
+
+  int resolution() const { return resolution_; }
+  double max_intensity() const { return max_intensity_; }
+
+ private:
+  int BucketFor(double intensity) const;
+
+  int resolution_;
+  double max_intensity_;
+  // mu[victim][own_bucket * resolution + other_bucket]
+  std::vector<double> mu_cpu_;
+  std::vector<double> mu_gpu_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_SIM_INTERFERENCE_H_

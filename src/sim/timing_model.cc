@@ -1,0 +1,103 @@
+#include "sim/timing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dido {
+
+double TimingModel::GpuHideFactor(uint64_t n, int cus) const {
+  const DeviceSpec& gpu = spec_.gpu;
+  if (cus <= 0) cus = gpu.cores;
+  const double q_per_cu =
+      std::ceil(static_cast<double>(n) / static_cast<double>(cus));
+  const double waves_per_cu = std::ceil(q_per_cu / gpu.simd_width);
+  return std::clamp(waves_per_cu, 1.0,
+                    static_cast<double>(gpu.max_waves_per_cu));
+}
+
+Micros TimingModel::TaskTime(Device device, const AccessCounts& per_query,
+                             uint64_t n, int cores) const {
+  if (n == 0) return 0.0;
+  const DeviceSpec& dev = spec_.device(device);
+  if (cores <= 0) cores = dev.cores;
+  cores = std::min(cores, dev.cores);
+
+  // Bulk line traffic can never beat the device's streaming bandwidth,
+  // however well latency is hidden (lines/us = GB/s * 1e3 / 64).
+  const double total_lines =
+      (per_query.mem_accesses + per_query.cache_accesses) *
+      static_cast<double>(n);
+  const double bandwidth_floor_us =
+      total_lines * static_cast<double>(dev.cache_line_bytes) /
+      (dev.stream_bandwidth_gbps * 1e3);
+
+  if (device == Device::kCpu) {
+    const double q_per_core =
+        static_cast<double>(n) / static_cast<double>(cores);
+    const double compute_us =
+        q_per_core * per_query.instructions / (dev.ipc * dev.freq_ghz * 1e3);
+    const double mem_us = q_per_core * per_query.mem_accesses *
+                          (dev.mem_latency_ns / 1e3) /
+                          dev.mem_level_parallelism;
+    const double cache_us =
+        q_per_core * per_query.cache_accesses * (dev.cache_latency_ns / 1e3);
+    return std::max(compute_us + mem_us + cache_us, bandwidth_floor_us);
+  }
+
+  // GPU: wavefront execution over `cores` compute units.
+  const double q_per_cu =
+      std::ceil(static_cast<double>(n) / static_cast<double>(cores));
+  const double waves_per_cu = std::ceil(q_per_cu / dev.simd_width);
+  const double hide = std::clamp(
+      waves_per_cu, 1.0, static_cast<double>(dev.max_waves_per_cu));
+  // One wavefront instruction retires per CU cycle; a wave carrying fewer
+  // queries than simd_width still costs a full instruction slot, which is
+  // why small batches are so expensive per query (Fig. 6).
+  const double compute_us = waves_per_cu * per_query.instructions /
+                            (dev.ipc * dev.freq_ghz * 1e3);
+  const double mem_hide = per_query.serialized_mem ? 1.0 : hide;
+  const double mem_us =
+      q_per_cu * per_query.mem_accesses * (dev.mem_latency_ns / 1e3) /
+      mem_hide;
+  const double cache_us =
+      q_per_cu * per_query.cache_accesses * (dev.cache_latency_ns / 1e3) / hide;
+  return dev.launch_overhead_us +
+         std::max(compute_us + mem_us + cache_us, bandwidth_floor_us);
+}
+
+double TimingModel::Intensity(const AccessCounts& per_query, uint64_t n,
+                              Micros duration_us) {
+  if (duration_us <= 0.0) return 0.0;
+  return per_query.mem_accesses * static_cast<double>(n) / duration_us;
+}
+
+double TimingModel::InterferenceFactor(Device victim, double own_intensity,
+                                       double other_intensity) const {
+  const MemorySystemSpec& mem = spec_.memory;
+  const double victim_factor = victim == Device::kCpu
+                                   ? mem.cpu_victim_factor
+                                   : mem.gpu_victim_factor;
+  // Linear pressure term from the other device's traffic, plus a shared
+  // saturation term once combined demand exceeds DRAM random-access
+  // throughput.
+  const double other_share =
+      std::max(0.0, other_intensity) / mem.max_accesses_per_us;
+  const double total =
+      (std::max(0.0, own_intensity) + std::max(0.0, other_intensity)) /
+      mem.max_accesses_per_us;
+  const double saturation = std::max(0.0, total - 1.0);
+  return 1.0 + victim_factor * other_share + saturation;
+}
+
+double TimingModel::NoiseFactor(uint64_t seed, uint64_t batch_index,
+                                double amplitude) {
+  const uint64_t mixed = Mix64(seed * 0x9E3779B97F4A7C15ULL + batch_index);
+  const double unit =
+      static_cast<double>(mixed >> 11) * (1.0 / 9007199254740992.0);
+  return 1.0 + amplitude * (2.0 * unit - 1.0);
+}
+
+}  // namespace dido

@@ -1,0 +1,83 @@
+#ifndef DIDO_SIM_TIMING_MODEL_H_
+#define DIDO_SIM_TIMING_MODEL_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "sim/device_spec.h"
+
+namespace dido {
+
+// Per-query cost of one task on one device, in the units of the paper's
+// Equation 1: instructions (I_F), DRAM accesses (N_F^M) and cache accesses
+// (N_F^C).  Fractional values are expected — they are per-query averages
+// over a batch (e.g. a GET-only batch has 0.05 inserts per query).
+struct AccessCounts {
+  double instructions = 0.0;
+  double mem_accesses = 0.0;
+  double cache_accesses = 0.0;
+  // Dependent atomic read-modify-write chains (index Insert/Delete) cannot
+  // be overlapped across wavefronts the way independent probe loads can;
+  // the GPU model charges their DRAM accesses without latency hiding.
+  bool serialized_mem = false;
+
+  AccessCounts& operator+=(const AccessCounts& other) {
+    instructions += other.instructions;
+    mem_accesses += other.mem_accesses;
+    cache_accesses += other.cache_accesses;
+    return *this;
+  }
+};
+
+// Implements the execution-time model of paper Section IV-A:
+//
+//   T_F^XPU = N * (I_F/IPC + N^M * L_M + N^C * L_C)            (Eq. 1)
+//
+// extended with the device-level parallelism that the equation's per-device
+// constants implicitly fold in: CPU stages divide a batch over their
+// assigned cores and overlap misses via out-of-order MLP; GPU stages
+// distribute wavefronts over compute units and hide memory latency with
+// in-flight waves, paying a per-kernel launch overhead and a severe
+// efficiency loss for batches that cannot fill the machine (the root cause
+// of the paper's Figure 6 observation).
+class TimingModel {
+ public:
+  explicit TimingModel(const ApuSpec& spec) : spec_(spec) {}
+
+  const ApuSpec& spec() const { return spec_; }
+
+  // Execution time of one task processing `n` queries on `device`, without
+  // interference.  `cores` is the number of CPU cores (or GPU CUs) granted
+  // to the stage; pass 0 for "all cores of the device".
+  Micros TaskTime(Device device, const AccessCounts& per_query, uint64_t n,
+                  int cores = 0) const;
+
+  // The GPU latency-hiding multiplier for a batch of n queries: how many
+  // wavefronts per CU are available to overlap memory stalls.
+  double GpuHideFactor(uint64_t n, int cus = 0) const;
+
+  // Memory-access intensity (DRAM lines per microsecond) a task generates,
+  // used as the input of the interference model.
+  static double Intensity(const AccessCounts& per_query, uint64_t n,
+                          Micros duration_us);
+
+  // Interference factor u^XPU_{N_C,N_G} (Table I): the slowdown `victim`
+  // experiences when the other processor sustains `other_intensity` DRAM
+  // accesses/us while the victim itself sustains `own_intensity`.
+  double InterferenceFactor(Device victim, double own_intensity,
+                            double other_intensity) const;
+
+  // Deterministic per-batch timing jitter in [1-amplitude, 1+amplitude],
+  // modelling the measurement variance between the analytical cost model
+  // and the executed system (DVFS, TLB, allocator state...).  Keyed by
+  // (seed, batch) so runs are reproducible.
+  static double NoiseFactor(uint64_t seed, uint64_t batch_index,
+                            double amplitude);
+
+ private:
+  ApuSpec spec_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_SIM_TIMING_MODEL_H_

@@ -1,0 +1,56 @@
+#ifndef DIDO_WORKLOAD_TRACE_H_
+#define DIDO_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/workload.h"
+
+namespace dido {
+
+// Query-trace capture and replay.
+//
+// Experiments in this repository are generated from seeded synthetic
+// distributions, but production studies (e.g. the Facebook analysis the
+// paper builds its motivation on) replay recorded traces.  A Trace is a
+// self-describing binary file: the workload parameters it was captured
+// under plus the exact query sequence, so any run can be replayed
+// bit-identically elsewhere.
+struct Trace {
+  WorkloadSpec spec;
+  uint64_t num_objects = 0;
+  std::vector<Query> queries;
+};
+
+// Serializes `trace` to `path` (overwrites).  Format: magic, version,
+// workload descriptor, query count, then one packed record per query.
+Status SaveTrace(const std::string& path, const Trace& trace);
+
+// Parses a trace file; fails with kInvalidArgument on malformed input
+// (bad magic/version, truncated body, out-of-range ops or key indexes).
+Result<Trace> LoadTrace(const std::string& path);
+
+// Captures `n` queries from a generator into a Trace.
+Trace CaptureTrace(WorkloadGenerator& generator, size_t n);
+
+// Sequential reader over a trace's queries, wrapping around at the end so
+// replays can run longer than the capture.
+class TraceCursor {
+ public:
+  explicit TraceCursor(const Trace* trace) : trace_(trace) {}
+
+  const Query& Next();
+  uint64_t position() const { return position_; }
+  uint64_t wraps() const { return wraps_; }
+
+ private:
+  const Trace* trace_;
+  uint64_t position_ = 0;
+  uint64_t wraps_ = 0;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_WORKLOAD_TRACE_H_

@@ -1,0 +1,424 @@
+// Unit tests for src/common: Status/Result, Random, Zipf, Hash, Histogram,
+// RunningStats.
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/zipf.h"
+
+namespace dido {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCode) {
+  EXPECT_EQ(Status::NotFound().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfMemory().code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::ResourceBusy().code(), StatusCode::kResourceBusy);
+  EXPECT_EQ(Status::CapacityFull().code(), StatusCode::kCapacityFull);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable().code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad frame");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad frame");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Ok());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCapacityFull), "CAPACITY_FULL");
+}
+
+Status FailingHelper() { return Status::OutOfMemory("no space"); }
+
+Status PropagatingHelper() {
+  DIDO_RETURN_IF_ERROR(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(PropagatingHelper().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(ResultTest, HoldsValueWhenOk) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsStatusWhenFailed) {
+  Result<int> result(Status::NotFound());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string(1000, 'x'));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+// ---------------------------------------------------------------- Random --
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RandomTest, ZeroSeedIsUsable) {
+  Random rng(0);
+  EXPECT_NE(rng.Next(), rng.Next());
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliEdgeCases) {
+  Random rng(7);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class RandomBoundedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomBoundedTest, StaysInBoundAndCoversRange) {
+  const uint64_t bound = GetParam();
+  Random rng(bound * 977 + 3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextBounded(bound);
+    EXPECT_LT(v, bound);
+    seen.insert(v);
+  }
+  if (bound <= 16) {
+    EXPECT_EQ(seen.size(), bound);  // small ranges fully covered
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RandomBoundedTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 1000, 1 << 20,
+                                           (1ULL << 40) + 7));
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Random rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextInRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+// ------------------------------------------------------------------ Zipf --
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfGenerator zipf(1000, 0.99);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < 1000; ++i) sum += zipf.Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilityDecreasesWithRank) {
+  ZipfGenerator zipf(1000, 0.99);
+  for (uint64_t i = 1; i < 1000; ++i) {
+    EXPECT_GT(zipf.Probability(i - 1), zipf.Probability(i));
+  }
+}
+
+TEST(ZipfTest, UniformSkewIsFlat) {
+  ZipfGenerator zipf(100, 0.0);
+  EXPECT_NEAR(zipf.Probability(0), 0.01, 1e-12);
+  EXPECT_NEAR(zipf.Probability(99), 0.01, 1e-12);
+}
+
+TEST(ZipfTest, TopFractionBoundsAndMonotonicity) {
+  ZipfGenerator zipf(100000, 0.99);
+  EXPECT_DOUBLE_EQ(zipf.TopFraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.TopFraction(100000), 1.0);
+  double prev = 0.0;
+  for (uint64_t k : {1u, 10u, 100u, 1000u, 10000u, 99999u}) {
+    const double f = zipf.TopFraction(k);
+    EXPECT_GT(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(ZipfTest, SkewedTopFractionExceedsUniform) {
+  ZipfGenerator skewed(100000, 0.99);
+  ZipfGenerator uniform(100000, 0.0);
+  EXPECT_GT(skewed.TopFraction(1000), 5.0 * uniform.TopFraction(1000));
+}
+
+TEST(ZipfTest, DrawsMatchTopFraction) {
+  const uint64_t n = 10000;
+  ZipfGenerator zipf(n, 0.99);
+  Random rng(99);
+  const uint64_t top_k = 100;
+  uint64_t in_top = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.Next(rng) < top_k) ++in_top;
+  }
+  EXPECT_NEAR(static_cast<double>(in_top) / draws, zipf.TopFraction(top_k),
+              0.02);
+}
+
+TEST(ZipfTest, UniformDrawsAreFlat) {
+  const uint64_t n = 100;
+  ZipfGenerator zipf(n, 0.0);
+  Random rng(3);
+  std::vector<int> counts(n, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) counts[zipf.Next(rng)] += 1;
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], draws / static_cast<int>(n), draws / n);
+  }
+}
+
+class ZetaSumTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZetaSumTest, ApproximationMatchesExactSum) {
+  const double theta = GetParam();
+  // Compare the Euler-Maclaurin path (n > 64k) against a brute-force sum.
+  const uint64_t n = 200000;
+  double exact = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    exact += std::pow(static_cast<double>(i), -theta);
+  }
+  EXPECT_NEAR(ZetaSum(n, theta) / exact, 1.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZetaSumTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 0.99, 1.0,
+                                           1.2, 1.5));
+
+TEST(ZipfTest, TopFrequenciesHelper) {
+  const std::vector<double> freqs = ZipfTopFrequencies(1000, 0.99, 10);
+  ASSERT_EQ(freqs.size(), 10u);
+  for (size_t i = 1; i < freqs.size(); ++i) EXPECT_LT(freqs[i], freqs[i - 1]);
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Hash64("hello"), Hash64("hello"));
+  EXPECT_EQ(Hash64("hello", 1), Hash64("hello", 1));
+}
+
+TEST(HashTest, SeedChangesValue) {
+  EXPECT_NE(Hash64("hello", 0), Hash64("hello", 1));
+}
+
+TEST(HashTest, DifferentInputsDiffer) {
+  EXPECT_NE(Hash64("hello"), Hash64("hellp"));
+  EXPECT_NE(Hash64("a"), Hash64("aa"));
+  EXPECT_NE(Hash64(""), Hash64("a"));
+}
+
+TEST(HashTest, AllLengthsCovered) {
+  // Exercise the 8-byte, 4-byte and tail paths.
+  std::set<uint64_t> hashes;
+  std::string s;
+  for (int len = 0; len <= 40; ++len) {
+    hashes.insert(Hash64(s));
+    s.push_back(static_cast<char>('a' + len % 26));
+  }
+  EXPECT_EQ(hashes.size(), 41u);
+}
+
+TEST(HashTest, BitsLookUniform) {
+  // Count set bits over many hashes; should be near 32 per 64-bit value.
+  double total_bits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t key = static_cast<uint64_t>(i);
+    total_bits += __builtin_popcountll(Hash64(&key, sizeof(key)));
+  }
+  EXPECT_NEAR(total_bits / n, 32.0, 0.5);
+}
+
+TEST(HashTest, Mix64IsBijectiveish) {
+  std::set<uint64_t> out;
+  for (uint64_t i = 0; i < 10000; ++i) out.insert(Mix64(i));
+  EXPECT_EQ(out.size(), 10000u);
+}
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_NEAR(h.Percentile(0.5), 42.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  Random rng(1);
+  for (int i = 0; i < 100000; ++i) h.Add(1.0 + rng.NextDouble() * 999.0);
+  const double p50 = h.Percentile(0.50);
+  const double p95 = h.Percentile(0.95);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LT(p50, p95);
+  EXPECT_LT(p95, p99);
+  EXPECT_NEAR(p50, 500.0, 50.0);
+  EXPECT_NEAR(p95, 950.0, 60.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.Add(10.0);
+  for (int i = 0; i < 100; ++i) b.Add(1000.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.min(), 10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+  EXPECT_NEAR(a.Mean(), 505.0, 1e-9);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------- RunningStats --
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.PopulationVariance(), 4.0, 1e-12);
+  EXPECT_NEAR(stats.PopulationStdDev(), 2.0, 1e-12);
+}
+
+TEST(RunningStatsTest, SymmetricDataHasZeroSkew) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.Add(x);
+  EXPECT_NEAR(stats.SkewnessG1(), 0.0, 1e-12);
+  EXPECT_NEAR(stats.SkewnessAdjusted(), 0.0, 1e-12);
+}
+
+TEST(RunningStatsTest, RightSkewedDataPositive) {
+  RunningStats stats;
+  for (double x : {1.0, 1.0, 1.0, 1.0, 10.0}) stats.Add(x);
+  EXPECT_GT(stats.SkewnessG1(), 0.5);
+  // Joanes-Gill adjustment amplifies for small n.
+  EXPECT_GT(stats.SkewnessAdjusted(), stats.SkewnessG1());
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Random rng(17);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * rng.NextDouble() * 100.0;
+    all.Add(x);
+    (i < 500 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.PopulationVariance(), all.PopulationVariance(), 1e-6);
+  EXPECT_NEAR(left.SkewnessG1(), all.SkewnessG1(), 1e-6);
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+// --------------------------------------------------------------- Logging --
+
+TEST(LoggingTest, SeverityFilter) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_FALSE(DIDO_LOG_ENABLED(Info));
+  EXPECT_TRUE(DIDO_LOG_ENABLED(Error));
+  SetMinLogSeverity(original);
+}
+
+}  // namespace
+}  // namespace dido

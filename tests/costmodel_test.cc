@@ -1,0 +1,339 @@
+// Tests for the APU-aware cost model, the workload profiler, the skew
+// estimator and the configuration search.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "costmodel/config_search.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/profiler.h"
+#include "pipeline/pipeline_executor.h"
+
+namespace dido {
+namespace {
+
+WorkloadProfileData TypicalProfile() {
+  WorkloadProfileData profile;
+  profile.batch_n = 4096;
+  profile.get_ratio = 0.95;
+  profile.hit_ratio = 1.0;
+  profile.inserts_per_query = 0.05;
+  profile.deletes_per_query = 0.05;
+  profile.avg_key_bytes = 16;
+  profile.avg_value_bytes = 64;
+  profile.zipf = true;
+  profile.zipf_skew = 0.99;
+  profile.num_objects = 100000;
+  profile.queries_per_frame = 40.0;
+  return profile;
+}
+
+// ------------------------------------------------------------ CostModel --
+
+TEST(CostModelTest, PredictionBasics) {
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  const Prediction prediction =
+      model.Predict(PipelineConfig::MegaKv(), TypicalProfile(), 250.0);
+  EXPECT_GT(prediction.batch_size, 64u);
+  EXPECT_GT(prediction.t_max, 0.0);
+  EXPECT_NEAR(prediction.t_max, 250.0, 100.0);  // sized to the interval
+  EXPECT_GT(prediction.throughput_mops, 0.0);
+  EXPECT_EQ(prediction.stages.size(), 3u);
+}
+
+TEST(CostModelTest, TmaxIsMaxStageTime) {
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  const Prediction p = model.PredictAtBatchSize(PipelineConfig::MegaKv(),
+                                                TypicalProfile(), 2048);
+  double max_stage = 0.0;
+  for (const StagePrediction& sp : p.stages) {
+    max_stage = std::max(max_stage, sp.time_after_steal_us);
+  }
+  EXPECT_DOUBLE_EQ(p.t_max, max_stage);
+}
+
+TEST(CostModelTest, WorkStealingNeverHurtsPrediction) {
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  PipelineConfig with = PipelineConfig::MegaKv();
+  with.static_cpu_assignment = false;
+  PipelineConfig without = with;
+  with.work_stealing = true;
+  const Prediction pw =
+      model.PredictAtBatchSize(with, TypicalProfile(), 4096);
+  const Prediction po =
+      model.PredictAtBatchSize(without, TypicalProfile(), 4096);
+  EXPECT_LE(pw.t_max, po.t_max + 1e-9);
+}
+
+TEST(CostModelTest, TheoreticalProbesPredictFasterIndex) {
+  CostModelOptions calibrated;
+  CostModelOptions theoretical;
+  theoretical.use_theoretical_probes = true;
+  CostModel a(DefaultKaveriSpec(), calibrated);
+  CostModel b(DefaultKaveriSpec(), theoretical);
+  const Prediction pa = a.PredictAtBatchSize(PipelineConfig::MegaKv(),
+                                             TypicalProfile(), 4096);
+  const Prediction pb = b.PredictAtBatchSize(PipelineConfig::MegaKv(),
+                                             TypicalProfile(), 4096);
+  // 1.5 vs 2.0 probes: the GPU (IN) stage gets cheaper.
+  EXPECT_LT(pb.stages[1].time_us, pa.stages[1].time_us);
+}
+
+TEST(CostModelTest, PredictionTracksExecutorMeasurement) {
+  // The model must predict the executed system within the error band the
+  // paper reports for Fig. 9 (max ~14%), modulo our noise amplitude.
+  KvRuntime::Options rt;
+  rt.slab.arena_bytes = 16 << 20;
+  rt.index.num_buckets = 1 << 14;
+  KvRuntime runtime(rt);
+  WorkloadSpec spec = MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf);
+  const uint64_t objects = runtime.Preload(spec.dataset, 20000);
+  WorkloadGenerator generator(spec, objects, 5);
+  TrafficSource source(&generator);
+  ExecutorOptions options;
+  options.noise_amplitude = 0.0;  // isolate model-vs-sim structure
+  PipelineExecutor executor(&runtime, DefaultKaveriSpec(), options);
+
+  const PipelineConfig config = PipelineConfig::MegaKv();
+  const PipelineExecutor::SteadyState measured =
+      executor.RunSteadyState(config, source, 3);
+
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  const Prediction predicted = model.Predict(
+      config, measured.representative.measured_profile, measured.interval_us);
+  const double error = std::fabs(measured.throughput_mops -
+                                 predicted.throughput_mops) /
+                       measured.throughput_mops;
+  EXPECT_LT(error, 0.20);
+}
+
+// --------------------------------------------------------- ConfigSearch --
+
+TEST(ConfigSearchTest, ReturnsSortedValidConfigs) {
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  SearchOptions options;
+  const SearchResult result =
+      FindOptimalConfig(model, TypicalProfile(), options);
+  EXPECT_GT(result.all.size(), 20u);
+  for (size_t i = 1; i < result.all.size(); ++i) {
+    EXPECT_GE(result.all[i - 1].prediction.throughput_mops,
+              result.all[i].prediction.throughput_mops);
+    EXPECT_TRUE(result.all[i].config.Valid());
+  }
+  EXPECT_EQ(result.best.prediction.throughput_mops,
+            result.all.front().prediction.throughput_mops);
+}
+
+TEST(ConfigSearchTest, BestBeatsMegaKvForReadHeavyWorkload) {
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  SearchOptions options;
+  const SearchResult result =
+      FindOptimalConfig(model, TypicalProfile(), options);
+  PipelineConfig megakv = PipelineConfig::MegaKv();
+  const Prediction megakv_prediction = model.Predict(
+      megakv, TypicalProfile(),
+      SchedulingIntervalUs(options.latency_cap_us, 3));
+  EXPECT_GT(result.best.prediction.throughput_mops,
+            megakv_prediction.throughput_mops);
+}
+
+TEST(ConfigSearchTest, ReadHeavyPrefersCpuIndexUpdates) {
+  // Paper Section V-C: for 95% GET workloads DIDO assigns Insert and Delete
+  // to the CPU.
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  SearchOptions options;
+  const SearchResult result =
+      FindOptimalConfig(model, TypicalProfile(), options);
+  EXPECT_EQ(result.best.config.DeviceFor(TaskKind::kInInsert), Device::kCpu)
+      << result.best.config.ToString();
+  EXPECT_EQ(result.best.config.DeviceFor(TaskKind::kInDelete), Device::kCpu);
+}
+
+TEST(ConfigSearchTest, FixedMegaKvPartitioningOnlyVariesIndexOps) {
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  SearchOptions options;
+  options.fix_megakv_partitioning = true;
+  const SearchResult result =
+      FindOptimalConfig(model, TypicalProfile(), options);
+  EXPECT_EQ(result.all.size(), 4u);
+  for (const ConfigEvaluation& eval : result.all) {
+    EXPECT_EQ(eval.config.gpu_begin, 3);
+    EXPECT_EQ(eval.config.gpu_end, 4);
+  }
+}
+
+TEST(ConfigSearchTest, ExplicitIntervalOverride) {
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  SearchOptions options;
+  options.interval_us = 300.0;
+  const SearchResult result =
+      FindOptimalConfig(model, TypicalProfile(), options);
+  EXPECT_NEAR(result.best.prediction.t_max, 300.0, 150.0);
+}
+
+// -------------------------------------------------------- SkewEstimator --
+
+class SkewInversionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewInversionTest, InvertsForwardModel) {
+  const double theta = GetParam();
+  const uint64_t accesses = 100000;
+  const uint64_t objects = 50000;
+  const double mean =
+      SkewEstimator::ExpectedMeanCount(theta, accesses, objects);
+  const double estimated =
+      SkewEstimator::EstimateTheta(mean, accesses, objects);
+  EXPECT_NEAR(estimated, theta, 0.02) << "mean=" << mean;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, SkewInversionTest,
+                         ::testing::Values(0.4, 0.6, 0.8, 0.9, 0.99, 1.1));
+
+TEST(SkewEstimatorTest, UniformLooksLikeZeroTheta) {
+  // Mean count ~1 (no repeats) must map to theta 0.
+  EXPECT_DOUBLE_EQ(SkewEstimator::EstimateTheta(1.0, 100000, 50000), 0.0);
+}
+
+TEST(SkewEstimatorTest, ForwardModelMonotoneInTheta) {
+  double prev = 0.0;
+  for (double theta : {0.0, 0.3, 0.6, 0.9, 1.2}) {
+    const double mean = SkewEstimator::ExpectedMeanCount(theta, 50000, 20000);
+    EXPECT_GT(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST(SkewEstimatorTest, EstimateFromSimulatedDraws) {
+  // End-to-end: draw from a real Zipf stream, accumulate counters the way
+  // KC does, and check the recovered theta.
+  const uint64_t objects = 20000;
+  const double theta = 0.99;
+  ZipfGenerator zipf(objects, theta);
+  Random rng(11);
+  std::vector<uint32_t> counters(objects, 0);
+  RunningStats sampled;
+  const uint64_t accesses = 80000;
+  for (uint64_t i = 0; i < accesses; ++i) {
+    const uint64_t key = zipf.Next(rng);
+    counters[key] += 1;
+    if (i % 8 == 0) sampled.Add(counters[key]);
+  }
+  const double estimated =
+      SkewEstimator::EstimateTheta(sampled.mean(), accesses, objects);
+  EXPECT_NEAR(estimated, theta, 0.12);
+}
+
+// ------------------------------------------------------ WorkloadProfiler --
+
+BatchMeasurements MeasurementsFor(const WorkloadProfileData& profile,
+                                  uint64_t hits) {
+  BatchMeasurements m;
+  m.num_queries = profile.batch_n;
+  m.hits = hits;
+  return m;
+}
+
+TEST(ProfilerTest, EstimateEchoesObservedCounters) {
+  WorkloadProfiler profiler;
+  WorkloadProfileData measured = TypicalProfile();
+  profiler.Observe(measured, MeasurementsFor(measured, 1000));
+  const WorkloadProfileData estimate = profiler.Estimate();
+  EXPECT_DOUBLE_EQ(estimate.get_ratio, measured.get_ratio);
+  EXPECT_DOUBLE_EQ(estimate.avg_value_bytes, measured.avg_value_bytes);
+}
+
+TEST(ProfilerTest, FirstObservationTriggersReplan) {
+  WorkloadProfiler profiler;
+  EXPECT_FALSE(profiler.ShouldReplan());  // nothing observed yet
+  WorkloadProfileData measured = TypicalProfile();
+  profiler.Observe(measured, MeasurementsFor(measured, 1000));
+  EXPECT_TRUE(profiler.ShouldReplan());
+  profiler.MarkPlanned();
+  EXPECT_FALSE(profiler.ShouldReplan());
+}
+
+TEST(ProfilerTest, TenPercentDriftTriggersReplan) {
+  WorkloadProfiler profiler;
+  WorkloadProfileData measured = TypicalProfile();
+  measured.zipf = false;  // keep skew out of this test
+  profiler.Observe(measured, MeasurementsFor(measured, 1000));
+  profiler.MarkPlanned();
+
+  // 5% GET-ratio change: below the threshold.
+  WorkloadProfileData drift = measured;
+  drift.get_ratio = measured.get_ratio * 1.05;
+  profiler.Observe(drift, MeasurementsFor(drift, 1000));
+  EXPECT_FALSE(profiler.ShouldReplan());
+
+  // 20% change: above it.
+  drift.get_ratio = measured.get_ratio * 0.8;
+  profiler.Observe(drift, MeasurementsFor(drift, 1000));
+  EXPECT_TRUE(profiler.ShouldReplan());
+}
+
+TEST(ProfilerTest, ValueSizeDriftTriggersReplan) {
+  WorkloadProfiler profiler;
+  WorkloadProfileData measured = TypicalProfile();
+  measured.zipf = false;
+  profiler.Observe(measured, MeasurementsFor(measured, 1000));
+  profiler.MarkPlanned();
+  WorkloadProfileData drift = measured;
+  drift.avg_value_bytes = measured.avg_value_bytes * 4.0;  // K16 -> K32ish
+  profiler.Observe(drift, MeasurementsFor(drift, 1000));
+  EXPECT_TRUE(profiler.ShouldReplan());
+}
+
+TEST(ProfilerTest, EpochAdvancesAfterConfiguredBatches) {
+  WorkloadProfiler::Options options;
+  options.batches_per_epoch = 2;
+  WorkloadProfiler profiler(options);
+  WorkloadProfileData measured = TypicalProfile();
+  EXPECT_EQ(profiler.epoch(), 1u);
+  profiler.Observe(measured, MeasurementsFor(measured, 100));
+  EXPECT_EQ(profiler.epoch(), 1u);
+  profiler.Observe(measured, MeasurementsFor(measured, 100));
+  EXPECT_EQ(profiler.epoch(), 2u);
+}
+
+TEST(ProfilerTest, SkewEstimateFlowsIntoEstimate) {
+  WorkloadProfiler::Options options;
+  options.batches_per_epoch = 1;
+  WorkloadProfiler profiler(options);
+  WorkloadProfileData measured = TypicalProfile();
+  measured.num_objects = 20000;
+
+  // Feed an epoch of heavily repeated counters (hot keys).
+  BatchMeasurements m = MeasurementsFor(measured, 50000);
+  ZipfGenerator zipf(measured.num_objects, 0.99);
+  Random rng(3);
+  std::vector<uint32_t> counters(measured.num_objects, 0);
+  for (uint64_t i = 0; i < 50000; ++i) {
+    const uint64_t key = zipf.Next(rng);
+    counters[key] += 1;
+    if (i % 8 == 0) m.sampled_frequencies.push_back(counters[key]);
+  }
+  profiler.Observe(measured, m);
+  EXPECT_GT(profiler.estimated_skew(), 0.7);
+  const WorkloadProfileData estimate = profiler.Estimate();
+  EXPECT_TRUE(estimate.zipf);
+  EXPECT_NEAR(estimate.zipf_skew, 0.99, 0.2);
+}
+
+TEST(ProfilerTest, UniformEpochYieldsUniformEstimate) {
+  WorkloadProfiler::Options options;
+  options.batches_per_epoch = 1;
+  WorkloadProfiler profiler(options);
+  WorkloadProfileData measured = TypicalProfile();
+  measured.num_objects = 100000;
+  BatchMeasurements m = MeasurementsFor(measured, 10000);
+  // Uniform traffic: nearly every sampled counter is 1.
+  for (int i = 0; i < 1000; ++i) m.sampled_frequencies.push_back(1);
+  profiler.Observe(measured, m);
+  const WorkloadProfileData estimate = profiler.Estimate();
+  EXPECT_FALSE(estimate.zipf);
+}
+
+}  // namespace
+}  // namespace dido

@@ -1,0 +1,251 @@
+// Tests for the pipeline executor: timing, utilization, steady state, work
+// stealing and response validation.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline_executor.h"
+
+namespace dido {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<KvRuntime> runtime;
+  std::unique_ptr<WorkloadGenerator> generator;
+  std::unique_ptr<TrafficSource> source;
+  std::unique_ptr<PipelineExecutor> executor;
+
+  explicit Fixture(const WorkloadSpec& spec,
+                   ExecutorOptions options = ExecutorOptions(),
+                   uint64_t objects = 20000) {
+    KvRuntime::Options rt;
+    rt.slab.arena_bytes = 16 << 20;
+    rt.index.num_buckets = 1 << 14;
+    runtime = std::make_unique<KvRuntime>(rt);
+    const uint64_t stored = runtime->Preload(spec.dataset, objects);
+    generator = std::make_unique<WorkloadGenerator>(spec, stored, 5);
+    source = std::make_unique<TrafficSource>(generator.get());
+    executor = std::make_unique<PipelineExecutor>(runtime.get(),
+                                                  DefaultKaveriSpec(), options);
+  }
+};
+
+WorkloadSpec DefaultSpec() {
+  return MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf);
+}
+
+TEST(ExecutorTest, RunBatchProducesConsistentResult) {
+  Fixture f(DefaultSpec());
+  const BatchResult result =
+      f.executor->RunBatch(PipelineConfig::MegaKv(), *f.source, 2000);
+  EXPECT_GE(result.batch_size, 2000u);
+  EXPECT_GT(result.t_max, 0.0);
+  EXPECT_EQ(result.stages.size(), 3u);
+  // T_max is the max stage time.
+  double max_stage = 0.0;
+  for (const StageResult& stage : result.stages) {
+    EXPECT_GT(stage.time_us, 0.0);
+    max_stage = std::max(max_stage, stage.time_after_steal_us);
+  }
+  EXPECT_DOUBLE_EQ(result.t_max, max_stage);
+  // Throughput = N / T_max (paper Eq. 4).
+  EXPECT_NEAR(result.throughput_mops,
+              static_cast<double>(result.batch_size) / result.t_max, 1e-9);
+}
+
+TEST(ExecutorTest, UtilizationWithinBounds) {
+  Fixture f(DefaultSpec());
+  const BatchResult result =
+      f.executor->RunBatch(PipelineConfig::MegaKv(), *f.source, 2000);
+  EXPECT_GT(result.cpu_utilization, 0.0);
+  EXPECT_LE(result.cpu_utilization, 1.0);
+  EXPECT_GT(result.gpu_utilization, 0.0);
+  EXPECT_LE(result.gpu_utilization, 1.0);
+}
+
+TEST(ExecutorTest, DeterministicForSameSeeds) {
+  ExecutorOptions options;
+  options.noise_seed = 99;
+  Fixture a(DefaultSpec(), options);
+  Fixture b(DefaultSpec(), options);
+  const BatchResult ra =
+      a.executor->RunBatch(PipelineConfig::MegaKv(), *a.source, 1000);
+  const BatchResult rb =
+      b.executor->RunBatch(PipelineConfig::MegaKv(), *b.source, 1000);
+  EXPECT_EQ(ra.batch_size, rb.batch_size);
+  EXPECT_DOUBLE_EQ(ra.t_max, rb.t_max);
+  EXPECT_DOUBLE_EQ(ra.throughput_mops, rb.throughput_mops);
+}
+
+TEST(ExecutorTest, NoiseVariesAcrossBatches) {
+  Fixture f(DefaultSpec());
+  const BatchResult r1 =
+      f.executor->RunBatch(PipelineConfig::MegaKv(), *f.source, 1000);
+  const BatchResult r2 =
+      f.executor->RunBatch(PipelineConfig::MegaKv(), *f.source, 1000);
+  EXPECT_NE(r1.t_max, r2.t_max);  // per-batch jitter
+  EXPECT_NEAR(r1.t_max / r2.t_max, 1.0, 0.25);
+}
+
+TEST(ExecutorTest, ResponsesDecodeAndCarryValues) {
+  Fixture f(MakeWorkload(DatasetK16(), 100, KeyDistribution::kUniform));
+  std::vector<Frame> responses;
+  const BatchResult result = f.executor->RunBatch(PipelineConfig::MegaKv(),
+                                                  *f.source, 500, &responses);
+  ASSERT_FALSE(responses.empty());
+  size_t count = 0;
+  for (const Frame& frame : responses) {
+    size_t offset = 0;
+    while (offset < frame.payload.size()) {
+      ResponseView view;
+      ASSERT_TRUE(DecodeResponse(frame.payload.data(), frame.payload.size(),
+                                 &offset, &view)
+                      .ok());
+      EXPECT_EQ(view.status, ResponseStatus::kOk);
+      EXPECT_EQ(view.value.size(), 64u);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, result.batch_size);
+}
+
+TEST(ExecutorTest, IntervalForDerivesFromLatencyCap) {
+  Fixture f(DefaultSpec());
+  EXPECT_DOUBLE_EQ(f.executor->IntervalFor(3), 250.0);
+  ExecutorOptions options;
+  options.interval_us = 300.0;
+  Fixture g(DefaultSpec(), options);
+  EXPECT_DOUBLE_EQ(g.executor->IntervalFor(3), 300.0);
+}
+
+TEST(ExecutorTest, SteadyStateFillsInterval) {
+  Fixture f(DefaultSpec());
+  const PipelineExecutor::SteadyState steady =
+      f.executor->RunSteadyState(PipelineConfig::MegaKv(), *f.source, 3);
+  EXPECT_GT(steady.batch_size, 64u);
+  // T_max of the representative batch must be near the interval.
+  EXPECT_NEAR(steady.representative.t_max, steady.interval_us,
+              steady.interval_us * 0.25);
+  EXPECT_GT(steady.throughput_mops, 0.0);
+}
+
+TEST(ExecutorTest, LargerLatencyBudgetRaisesThroughput) {
+  // Bigger batches amortize GPU launches better (Fig. 19's premise).
+  ExecutorOptions tight;
+  tight.latency_cap_us = 600.0;
+  ExecutorOptions loose;
+  loose.latency_cap_us = 1000.0;
+  Fixture a(DefaultSpec(), tight);
+  Fixture b(DefaultSpec(), loose);
+  const double mops_tight =
+      a.executor->RunSteadyState(PipelineConfig::MegaKv(), *a.source, 3)
+          .throughput_mops;
+  const double mops_loose =
+      b.executor->RunSteadyState(PipelineConfig::MegaKv(), *b.source, 3)
+          .throughput_mops;
+  EXPECT_GT(mops_loose, mops_tight * 0.98);
+}
+
+TEST(ExecutorTest, WorkStealingReducesTmax) {
+  // Same partitioning with and without stealing: stealing must not lose,
+  // and on an imbalanced pipeline it must win.
+  Fixture f(MakeWorkload(DatasetK8(), 100, KeyDistribution::kUniform));
+  PipelineConfig no_ws = PipelineConfig::MegaKv();
+  no_ws.static_cpu_assignment = false;
+  PipelineConfig ws = no_ws;
+  ws.work_stealing = true;
+  const BatchResult base = f.executor->RunBatch(no_ws, *f.source, 4000);
+  const BatchResult stolen = f.executor->RunBatch(ws, *f.source, 4000);
+  EXPECT_GT(stolen.stolen_queries, 0u);
+  EXPECT_LT(stolen.t_max, base.t_max * 1.05);
+  EXPECT_GT(stolen.throughput_mops, base.throughput_mops * 0.95);
+}
+
+TEST(ExecutorTest, StealThiefIsIdleDevice) {
+  // Mega-KV partitioning: CPU post-stage is the bottleneck, GPU the thief.
+  Fixture f(MakeWorkload(DatasetK8(), 100, KeyDistribution::kUniform));
+  PipelineConfig ws = PipelineConfig::MegaKv();
+  ws.static_cpu_assignment = false;
+  ws.work_stealing = true;
+  const BatchResult result = f.executor->RunBatch(ws, *f.source, 4000);
+  if (result.stolen_queries > 0) {
+    EXPECT_EQ(result.steal_thief, Device::kGpu);
+  }
+}
+
+TEST(ExecutorTest, StaticAssignmentImbalancesCpuStages) {
+  // Mega-KV's fixed 2/2 thread split leaves the NP stage much lighter than
+  // the value stage — the paper's Fig. 4 observation.
+  ExecutorOptions options;
+  options.interval_us = 300.0;
+  Fixture f(MakeWorkload(DatasetK8(), 95, KeyDistribution::kZipf), options);
+  const PipelineExecutor::SteadyState steady =
+      f.executor->RunSteadyState(PipelineConfig::MegaKv(), *f.source, 3);
+  const auto& stages = steady.representative.stages;
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_LT(stages[0].time_us, 0.8 * stages[2].time_us);
+  EXPECT_LT(stages[1].time_us, 0.8 * stages[2].time_us);  // GPU idle too
+}
+
+TEST(ExecutorTest, MeasuredProfileReflectsWorkload) {
+  Fixture f(MakeWorkload(DatasetK32(), 95, KeyDistribution::kZipf));
+  const BatchResult result =
+      f.executor->RunBatch(PipelineConfig::MegaKv(), *f.source, 2000);
+  const WorkloadProfileData& profile = result.measured_profile;
+  EXPECT_NEAR(profile.get_ratio, 0.95, 0.03);
+  EXPECT_NEAR(profile.avg_key_bytes, 32.0, 0.01);
+  EXPECT_NEAR(profile.avg_value_bytes, 256.0, 0.01);
+  EXPECT_TRUE(profile.zipf);
+  EXPECT_GT(profile.num_objects, 1000u);
+  EXPECT_NEAR(profile.inserts_per_query, 0.05, 0.02);
+  EXPECT_NEAR(profile.deletes_per_query, 0.05, 0.02);
+}
+
+TEST(ExecutorTest, GpuUtilizationDropsWithLargeValues) {
+  // Fig. 5: Mega-KV's GPU is idler the larger the key-value objects.
+  ExecutorOptions options;
+  options.interval_us = 300.0;
+  Fixture small(MakeWorkload(DatasetK8(), 95, KeyDistribution::kZipf), options);
+  Fixture large(MakeWorkload(DatasetK128(), 95, KeyDistribution::kZipf),
+                options, 10000);
+  const double small_util =
+      small.executor->RunSteadyState(PipelineConfig::MegaKv(), *small.source, 3)
+          .gpu_utilization;
+  const double large_util =
+      large.executor->RunSteadyState(PipelineConfig::MegaKv(), *large.source, 3)
+          .gpu_utilization;
+  EXPECT_GT(small_util, large_util);
+}
+
+TEST(ExecutorTest, PerTaskBreakdownSumsToStageTime) {
+  Fixture f(DefaultSpec());
+  const BatchResult result =
+      f.executor->RunBatch(PipelineConfig::MegaKv(), *f.source, 2000);
+  for (const StageResult& stage : result.stages) {
+    double task_sum = 0.0;
+    for (const TaskTimingBreakdown& tb : stage.task_times) {
+      task_sum += tb.time_us;
+    }
+    EXPECT_NEAR(task_sum, stage.time_us, stage.time_us * 0.02);
+  }
+}
+
+TEST(ExecutorTest, InterferenceSlowsStages) {
+  ExecutorOptions with;
+  with.model_interference = true;
+  with.noise_amplitude = 0.0;
+  ExecutorOptions without = with;
+  without.model_interference = false;
+  Fixture a(DefaultSpec(), with);
+  Fixture b(DefaultSpec(), without);
+  const BatchResult ra =
+      a.executor->RunBatch(PipelineConfig::MegaKv(), *a.source, 4000);
+  const BatchResult rb =
+      b.executor->RunBatch(PipelineConfig::MegaKv(), *b.source, 4000);
+  EXPECT_GT(ra.t_max, rb.t_max);
+}
+
+}  // namespace
+}  // namespace dido

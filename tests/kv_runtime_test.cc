@@ -1,0 +1,344 @@
+// End-to-end correctness tests of the shared KV runtime: preload, the batch
+// task implementations, deferred reclamation and the direct API.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/cuckoo_hash_table.h"
+#include "pipeline/kv_runtime.h"
+#include "pipeline/pipeline_config.h"
+#include "net/sim_nic.h"
+
+namespace dido {
+namespace {
+
+KvRuntime::Options SmallRuntime() {
+  KvRuntime::Options options;
+  options.slab.arena_bytes = 8 << 20;
+  options.index.num_buckets = 1 << 14;
+  return options;
+}
+
+std::string KeyFor(uint64_t index, uint32_t key_size) {
+  std::string key(key_size, '\0');
+  MaterializeKey(index, key_size, reinterpret_cast<uint8_t*>(key.data()));
+  return key;
+}
+
+std::string ValueFor(uint64_t index, uint32_t value_size, uint32_t version) {
+  std::string value(value_size, '\0');
+  MaterializeValue(index, value_size, version,
+                   reinterpret_cast<uint8_t*>(value.data()));
+  return value;
+}
+
+// Builds a batch from explicit queries and runs it through `config`'s task
+// order, exactly as the executor would.
+BatchMeasurements RunFullBatch(KvRuntime& runtime, const PipelineConfig& config,
+                               TrafficSource& source, size_t target_queries,
+                               QueryBatch* out = nullptr) {
+  QueryBatch batch;
+  batch.config = config;
+  size_t queries = 0;
+  while (queries < target_queries) {
+    Frame frame;
+    queries += source.FillFrame(&frame, nullptr);
+    batch.frames.push_back(std::move(frame));
+  }
+  EXPECT_TRUE(runtime.RunPacketProcessing(&batch).ok());
+  for (const StageSpec& stage : config.Stages(4)) {
+    for (TaskKind task : stage.tasks) {
+      if (task == TaskKind::kRv || task == TaskKind::kPp ||
+          task == TaskKind::kSd) {
+        continue;
+      }
+      runtime.RunRangeTask(task, &batch, 0, batch.size());
+    }
+  }
+  runtime.RetireBatch(&batch);
+  BatchMeasurements m = batch.measurements;
+  if (out != nullptr) *out = std::move(batch);
+  return m;
+}
+
+TEST(KvRuntimeTest, PreloadStoresRequestedObjects) {
+  KvRuntime runtime(SmallRuntime());
+  const uint64_t stored = runtime.Preload(DatasetK16(), 10000);
+  EXPECT_EQ(stored, 10000u);
+  EXPECT_EQ(runtime.live_objects(), 10000u);
+  // Spot-check contents via the direct API.
+  Result<std::string> value = runtime.GetValue(KeyFor(1234, 16));
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, ValueFor(1234, 64, 0));
+}
+
+TEST(KvRuntimeTest, PreloadStopsAtMemoryCapacity) {
+  KvRuntime::Options options = SmallRuntime();
+  options.slab.arena_bytes = 1 << 20;
+  KvRuntime runtime(options);
+  const uint64_t stored = runtime.Preload(DatasetK128(), 1 << 20);
+  EXPECT_GT(stored, 100u);
+  EXPECT_LT(stored, 2000u);  // 1 MB / ~1.2 KB objects
+}
+
+TEST(KvRuntimeTest, DirectApiRoundTrip) {
+  KvRuntime runtime(SmallRuntime());
+  EXPECT_TRUE(runtime.Put("k1", "v1").ok());
+  EXPECT_TRUE(runtime.Put("k2", "v2").ok());
+  EXPECT_EQ(runtime.GetValue("k1").value(), "v1");
+  EXPECT_TRUE(runtime.Put("k1", "v1b").ok());  // overwrite
+  EXPECT_EQ(runtime.GetValue("k1").value(), "v1b");
+  EXPECT_EQ(runtime.live_objects(), 2u);
+  EXPECT_TRUE(runtime.DeleteKey("k1").ok());
+  EXPECT_FALSE(runtime.GetValue("k1").ok());
+  EXPECT_EQ(runtime.DeleteKey("k1").code(), StatusCode::kNotFound);
+}
+
+class BatchPipelineTest
+    : public ::testing::TestWithParam<PipelineConfig> {};
+
+TEST_P(BatchPipelineTest, BatchGetsReturnCorrectValues) {
+  const PipelineConfig config = GetParam();
+  KvRuntime runtime(SmallRuntime());
+  const uint64_t objects = runtime.Preload(DatasetK16(), 5000);
+  ASSERT_EQ(objects, 5000u);
+
+  WorkloadSpec spec = MakeWorkload(DatasetK16(), 100, KeyDistribution::kZipf);
+  WorkloadGenerator generator(spec, objects, 3);
+  TrafficSource source(&generator);
+
+  QueryBatch batch;
+  const BatchMeasurements m =
+      RunFullBatch(runtime, config, source, 2000, &batch);
+  EXPECT_GE(m.num_queries, 2000u);
+  EXPECT_EQ(m.gets, m.num_queries);
+  EXPECT_EQ(m.hits, m.gets);  // all preloaded keys must hit
+  EXPECT_EQ(m.misses, 0u);
+
+  // Every GET record must have found the right object.
+  for (const QueryRecord& record : batch.queries) {
+    ASSERT_EQ(record.status, ResponseStatus::kOk);
+    ASSERT_NE(record.object, nullptr);
+    EXPECT_EQ(record.object->Key(), record.key);
+  }
+}
+
+TEST_P(BatchPipelineTest, BatchSetsProduceInsertAndDelete) {
+  const PipelineConfig config = GetParam();
+  KvRuntime runtime(SmallRuntime());
+  const uint64_t objects = runtime.Preload(DatasetK16(), 5000);
+  WorkloadSpec spec = MakeWorkload(DatasetK16(), 50, KeyDistribution::kUniform);
+  WorkloadGenerator generator(spec, objects, 3);
+  TrafficSource source(&generator);
+
+  const BatchMeasurements m = RunFullBatch(runtime, config, source, 2000);
+  EXPECT_GT(m.sets, 800u);
+  // Every SET inserts a new version and unlinks the old one — the paper's
+  // Insert+Delete pair (Section II-C2).
+  EXPECT_EQ(m.inserts, m.sets);
+  EXPECT_NEAR(static_cast<double>(m.deletes), static_cast<double>(m.sets),
+              static_cast<double>(m.sets) * 0.02);
+  // Store size is steady: overwrites don't grow the index.
+  EXPECT_EQ(runtime.live_objects(), objects);
+}
+
+TEST_P(BatchPipelineTest, SetsVisibleToLaterBatches) {
+  const PipelineConfig config = GetParam();
+  KvRuntime runtime(SmallRuntime());
+  const uint64_t objects = runtime.Preload(DatasetK16(), 3000);
+  WorkloadSpec spec = MakeWorkload(DatasetK16(), 50, KeyDistribution::kUniform);
+  WorkloadGenerator generator(spec, objects, 3);
+  TrafficSource source(&generator);
+  for (int i = 0; i < 3; ++i) RunFullBatch(runtime, config, source, 1500);
+
+  // Every stored key must still be reachable and well-formed.
+  for (uint64_t i = 0; i < objects; i += 97) {
+    const std::string key = KeyFor(i, 16);
+    Result<std::string> value = runtime.GetValue(key);
+    ASSERT_TRUE(value.ok()) << "key index " << i;
+    EXPECT_EQ(value->size(), 64u);
+  }
+  EXPECT_EQ(runtime.live_objects(), objects);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BatchPipelineTest,
+    ::testing::Values(
+        PipelineConfig::MegaKv(),
+        // DIDO's preferred read-intensive pipeline: [IN.S,KC,RD] on GPU.
+        PipelineConfig{/*gpu_begin=*/3, /*gpu_end=*/6, Device::kCpu,
+                       Device::kCpu, true, false},
+        // RD/WR split across devices (staging path).
+        PipelineConfig{/*gpu_begin=*/3, /*gpu_end=*/5, Device::kGpu,
+                       Device::kGpu, true, false},
+        // Pure CPU.
+        PipelineConfig{/*gpu_begin=*/4, /*gpu_end=*/4, Device::kCpu,
+                       Device::kCpu, false, false}),
+    [](const ::testing::TestParamInfo<PipelineConfig>& info) {
+      return "cut" + std::to_string(info.param.gpu_begin) + "_" +
+             std::to_string(info.param.gpu_end) + "_ins" +
+             (info.param.insert_device == Device::kCpu ? "c" : "g");
+    });
+
+TEST(KvRuntimeTest, StagingPathMatchesDirectPath) {
+  // When RD and WR are in different stages the value travels through the
+  // staging buffer; response contents must be identical either way.
+  KvRuntime runtime(SmallRuntime());
+  const uint64_t objects = runtime.Preload(DatasetK32(), 1000);
+  WorkloadSpec spec = MakeWorkload(DatasetK32(), 100, KeyDistribution::kUniform);
+
+  auto collect_responses = [&](const PipelineConfig& config) {
+    WorkloadGenerator generator(spec, objects, 9);
+    TrafficSource source(&generator);
+    QueryBatch batch;
+    RunFullBatch(runtime, config, source, 500, &batch);
+    std::map<std::string, std::string> responses;
+    for (const Frame& frame : batch.responses) {
+      size_t offset = 0;
+      while (offset < frame.payload.size()) {
+        ResponseView view;
+        EXPECT_TRUE(DecodeResponse(frame.payload.data(), frame.payload.size(),
+                                   &offset, &view)
+                        .ok());
+        responses[std::string(view.key)] = std::string(view.value);
+      }
+    }
+    return responses;
+  };
+
+  PipelineConfig staged;  // RD on GPU, WR on CPU
+  staged.gpu_begin = 3;
+  staged.gpu_end = 6;
+  const auto direct = collect_responses(PipelineConfig::MegaKv());
+  const auto via_staging = collect_responses(staged);
+  ASSERT_FALSE(direct.empty());
+  ASSERT_FALSE(via_staging.empty());
+  // Same generator seed -> same keys; values must agree.
+  EXPECT_EQ(direct, via_staging);
+}
+
+TEST(KvRuntimeTest, ResponsesCoverEveryQuery) {
+  KvRuntime runtime(SmallRuntime());
+  const uint64_t objects = runtime.Preload(DatasetK16(), 2000);
+  WorkloadSpec spec = MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf);
+  WorkloadGenerator generator(spec, objects, 3);
+  TrafficSource source(&generator);
+  QueryBatch batch;
+  const BatchMeasurements m =
+      RunFullBatch(runtime, PipelineConfig::MegaKv(), source, 1000, &batch);
+  size_t responses = 0;
+  for (const Frame& frame : batch.responses) {
+    size_t offset = 0;
+    while (offset < frame.payload.size()) {
+      ResponseView view;
+      ASSERT_TRUE(DecodeResponse(frame.payload.data(), frame.payload.size(),
+                                 &offset, &view)
+                      .ok());
+      EXPECT_LE(frame.payload.size(), kMaxFramePayload);
+      if (view.op == QueryOp::kGet) {
+        EXPECT_EQ(view.status, ResponseStatus::kOk);
+        EXPECT_EQ(view.value.size(), 64u);
+      } else {
+        EXPECT_EQ(view.status, ResponseStatus::kStored);
+      }
+      ++responses;
+    }
+  }
+  EXPECT_EQ(responses, m.num_queries);
+}
+
+TEST(KvRuntimeTest, DeferredFreesKeepMemoryStable) {
+  KvRuntime runtime(SmallRuntime());
+  const uint64_t objects = runtime.Preload(DatasetK8(), 20000);
+  WorkloadSpec spec = MakeWorkload(DatasetK8(), 50, KeyDistribution::kUniform);
+  WorkloadGenerator generator(spec, objects, 3);
+  TrafficSource source(&generator);
+  const uint64_t live_before = runtime.live_objects();
+  for (int i = 0; i < 5; ++i) {
+    RunFullBatch(runtime, PipelineConfig::MegaKv(), source, 2000);
+    EXPECT_EQ(runtime.live_objects(), live_before);
+  }
+  // Allocator-level leak check: allocations - frees == live objects.
+  const MemoryManager::Counters& counters = runtime.memory().counters();
+  EXPECT_EQ(counters.allocations - counters.frees, live_before);
+}
+
+TEST(KvRuntimeTest, ExplicitDeleteQueries) {
+  KvRuntime runtime(SmallRuntime());
+  runtime.Preload(DatasetK16(), 100);
+  // Hand-build a frame with DELETE queries.
+  QueryBatch batch;
+  batch.config = PipelineConfig::MegaKv();
+  Frame frame;
+  const std::string key5 = KeyFor(5, 16);
+  const std::string key6 = KeyFor(6, 16);
+  const std::string ghost = KeyFor(100000, 16);
+  EncodeRequest(QueryOp::kDelete, key5, "", &frame.payload);
+  EncodeRequest(QueryOp::kDelete, key6, "", &frame.payload);
+  EncodeRequest(QueryOp::kDelete, ghost, "", &frame.payload);
+  batch.frames.push_back(std::move(frame));
+  ASSERT_TRUE(runtime.RunPacketProcessing(&batch).ok());
+  runtime.RunIndexDelete(&batch, 0, batch.size());
+  runtime.RunWriteResponse(&batch, 0, batch.size());
+  runtime.RetireBatch(&batch);
+  EXPECT_EQ(batch.queries[0].status, ResponseStatus::kDeleted);
+  EXPECT_EQ(batch.queries[1].status, ResponseStatus::kDeleted);
+  EXPECT_EQ(batch.queries[2].status, ResponseStatus::kMiss);
+  EXPECT_FALSE(runtime.GetValue(key5).ok());
+  EXPECT_EQ(runtime.live_objects(), 98u);
+}
+
+TEST(KvRuntimeTest, MeasuredProbeAveragesAreSane) {
+  KvRuntime runtime(SmallRuntime());
+  const uint64_t objects = runtime.Preload(DatasetK16(), 5000);
+  WorkloadSpec spec = MakeWorkload(DatasetK16(), 95, KeyDistribution::kUniform);
+  WorkloadGenerator generator(spec, objects, 3);
+  TrafficSource source(&generator);
+  const BatchMeasurements m =
+      RunFullBatch(runtime, PipelineConfig::MegaKv(), source, 2000);
+  // Search always reads both candidate buckets; SET-replacements resolve
+  // in the first matching bucket, so insert probes average in [1, 2+].
+  EXPECT_NEAR(m.search_probes, 2.0, 0.01);
+  EXPECT_GE(m.insert_probes, 1.0);
+  // No explicit DELETEs and no evictions in this run.
+  EXPECT_DOUBLE_EQ(m.delete_probes, 0.0);
+}
+
+TEST(KvRuntimeTest, EvictionPathUnderMemoryPressure) {
+  KvRuntime::Options options = SmallRuntime();
+  options.slab.arena_bytes = 1 << 20;  // tiny arena
+  KvRuntime runtime(options);
+  const uint64_t objects = runtime.Preload(DatasetK16(), 100000);
+  ASSERT_LT(objects, 100000u);  // arena filled before the target
+  // SETs of *new* keys now must evict.
+  WorkloadSpec spec = MakeWorkload(DatasetK16(), 0, KeyDistribution::kUniform);
+  WorkloadGenerator generator(spec, objects * 2, 3);  // half the keys are new
+  TrafficSource source(&generator);
+  const BatchMeasurements m =
+      RunFullBatch(runtime, PipelineConfig::MegaKv(), source, 1000);
+  EXPECT_GT(m.evictions, 0u);
+  // Live object count cannot exceed what memory supports.
+  EXPECT_LE(runtime.live_objects(), objects + 10);
+}
+
+TEST(KvRuntimeTest, SamplingEpochFeedsFrequencies) {
+  KvRuntime runtime(SmallRuntime());
+  const uint64_t objects = runtime.Preload(DatasetK8(), 1000);
+  runtime.set_sampling_epoch(7);
+  WorkloadSpec spec = MakeWorkload(DatasetK8(), 100, KeyDistribution::kZipf);
+  WorkloadGenerator generator(spec, objects, 3);
+  TrafficSource source(&generator);
+  const BatchMeasurements m =
+      RunFullBatch(runtime, PipelineConfig::MegaKv(), source, 4000);
+  ASSERT_FALSE(m.sampled_frequencies.empty());
+  // Zipf traffic must produce some repeat counts within the epoch.
+  uint32_t max_count = 0;
+  for (uint32_t f : m.sampled_frequencies) max_count = std::max(max_count, f);
+  EXPECT_GT(max_count, 1u);
+}
+
+}  // namespace
+}  // namespace dido

@@ -1,0 +1,249 @@
+// Unit tests for the slab allocator, KV object layout, and memory manager.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mem/kv_object.h"
+#include "mem/memory_manager.h"
+#include "mem/slab_allocator.h"
+
+namespace dido {
+namespace {
+
+SlabAllocator::Options SmallArena(size_t bytes = 1 << 20) {
+  SlabAllocator::Options options;
+  options.arena_bytes = bytes;
+  options.page_bytes = 64 << 10;
+  options.min_chunk_bytes = 64;
+  return options;
+}
+
+// ------------------------------------------------------------- KvObject --
+
+TEST(KvObjectTest, FootprintAddsHeaderAndPayload) {
+  EXPECT_EQ(KvObject::FootprintFor(8, 8), sizeof(KvObject) + 16);
+  EXPECT_EQ(KvObject::FootprintFor(128, 1024), sizeof(KvObject) + 1152);
+}
+
+TEST(KvObjectTest, HeaderIsAligned) { EXPECT_EQ(sizeof(KvObject) % 8, 0u); }
+
+TEST(KvObjectTest, RecordAccessResetsOnNewEpoch) {
+  alignas(KvObject) unsigned char storage[sizeof(KvObject) + 16];
+  KvObject* object = new (storage) KvObject();
+  object->key_size = 8;
+  object->value_size = 8;
+  EXPECT_EQ(object->RecordAccess(1), 1u);
+  EXPECT_EQ(object->RecordAccess(1), 2u);
+  EXPECT_EQ(object->RecordAccess(1), 3u);
+  EXPECT_EQ(object->RecordAccess(2), 1u);  // new epoch restarts the count
+  EXPECT_EQ(object->RecordAccess(2), 2u);
+  object->~KvObject();
+}
+
+// -------------------------------------------------------- SlabAllocator --
+
+TEST(SlabAllocatorTest, ClassesGrowGeometrically) {
+  SlabAllocator allocator(SmallArena());
+  ASSERT_GT(allocator.num_classes(), 3u);
+  const SlabAllocator::Stats stats = allocator.GetStats();
+  for (size_t i = 1; i < stats.classes.size(); ++i) {
+    EXPECT_GT(stats.classes[i].chunk_bytes, stats.classes[i - 1].chunk_bytes);
+  }
+}
+
+TEST(SlabAllocatorTest, ClassForSizePicksSmallestFit) {
+  SlabAllocator allocator(SmallArena());
+  const int tiny = allocator.ClassForSize(64);
+  const int bigger = allocator.ClassForSize(65);
+  EXPECT_EQ(tiny, 0);
+  EXPECT_EQ(bigger, 1);
+  EXPECT_EQ(allocator.ClassForSize((64 << 10) + 1), -1);  // beyond page
+}
+
+TEST(SlabAllocatorTest, AllocateStoresKeyAndValue) {
+  SlabAllocator allocator(SmallArena());
+  Result<KvObject*> object = allocator.Allocate("key-0001", "value", 7, nullptr);
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ((*object)->Key(), "key-0001");
+  EXPECT_EQ((*object)->Value(), "value");
+  EXPECT_EQ((*object)->version, 7u);
+  allocator.Free(*object);
+}
+
+TEST(SlabAllocatorTest, RejectsOversizedObject) {
+  SlabAllocator allocator(SmallArena());
+  const std::string huge(128 << 10, 'x');
+  Result<KvObject*> object = allocator.Allocate("k", huge, 0, nullptr);
+  EXPECT_FALSE(object.ok());
+  EXPECT_EQ(object.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SlabAllocatorTest, FreeReturnsChunkForReuse) {
+  SlabAllocator::Options options = SmallArena(64 << 10);  // one page
+  SlabAllocator allocator(options);
+  Result<KvObject*> a = allocator.Allocate("kkkkkkkk", "v", 0, nullptr);
+  ASSERT_TRUE(a.ok());
+  KvObject* first = *a;
+  allocator.Free(first);
+  Result<KvObject*> b = allocator.Allocate("kkkkkkkk", "w", 0, nullptr);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, first);  // LIFO free list reuses the chunk
+}
+
+TEST(SlabAllocatorTest, EvictsLeastRecentlyUsed) {
+  // Arena of exactly one page of 64-byte chunks.
+  SlabAllocator::Options options = SmallArena(64 << 10);
+  SlabAllocator allocator(options);
+  std::vector<KvObject*> objects;
+  std::vector<SlabAllocator::EvictedObject> evictions;
+  // Fill the page.
+  const size_t capacity = (64 << 10) / 64;
+  for (size_t i = 0; i < capacity; ++i) {
+    const std::string key = "key" + std::to_string(1000 + i);
+    Result<KvObject*> object = allocator.Allocate(key, "v", 0, &evictions);
+    ASSERT_TRUE(object.ok());
+    objects.push_back(*object);
+  }
+  EXPECT_TRUE(evictions.empty());
+  // The next allocation must evict the least recently used = first object.
+  Result<KvObject*> overflow =
+      allocator.Allocate("overflow", "v", 0, &evictions);
+  ASSERT_TRUE(overflow.ok());
+  ASSERT_EQ(evictions.size(), 1u);
+  EXPECT_EQ(evictions[0].key, "key1000");
+  EXPECT_EQ(evictions[0].stale_ptr, objects[0]);
+}
+
+TEST(SlabAllocatorTest, TouchProtectsFromEviction) {
+  SlabAllocator::Options options = SmallArena(64 << 10);
+  SlabAllocator allocator(options);
+  std::vector<SlabAllocator::EvictedObject> evictions;
+  std::vector<KvObject*> objects;
+  const size_t capacity = (64 << 10) / 64;
+  for (size_t i = 0; i < capacity; ++i) {
+    Result<KvObject*> object =
+        allocator.Allocate("key" + std::to_string(1000 + i), "v", 0, nullptr);
+    ASSERT_TRUE(object.ok());
+    objects.push_back(*object);
+  }
+  allocator.Touch(objects[0]);  // bump the would-be victim to MRU
+  Result<KvObject*> overflow =
+      allocator.Allocate("overflow", "v", 0, &evictions);
+  ASSERT_TRUE(overflow.ok());
+  ASSERT_EQ(evictions.size(), 1u);
+  EXPECT_EQ(evictions[0].key, "key1001");  // second-oldest evicted instead
+}
+
+TEST(SlabAllocatorTest, StatsTrackLiveObjectsAndEvictions) {
+  SlabAllocator::Options options = SmallArena(64 << 10);
+  SlabAllocator allocator(options);
+  const size_t capacity = (64 << 10) / 64;
+  for (size_t i = 0; i < capacity + 10; ++i) {
+    ASSERT_TRUE(allocator
+                    .Allocate("key" + std::to_string(10000 + i), "v", 0,
+                              nullptr)
+                    .ok());
+  }
+  const SlabAllocator::Stats stats = allocator.GetStats();
+  EXPECT_EQ(stats.live_objects, capacity);
+  EXPECT_EQ(stats.total_evictions, 10u);
+}
+
+TEST(SlabAllocatorTest, CapacityForObjectMatchesReality) {
+  SlabAllocator::Options options = SmallArena(1 << 20);
+  SlabAllocator allocator(options);
+  const uint64_t predicted = allocator.CapacityForObject(8, 8);
+  uint64_t stored = 0;
+  std::vector<SlabAllocator::EvictedObject> evictions;
+  while (evictions.empty() && stored < predicted + 10) {
+    ASSERT_TRUE(allocator
+                    .Allocate("key" + std::to_string(10000000 + stored), "v",
+                              0, &evictions)
+                    .ok());
+    ++stored;
+  }
+  EXPECT_EQ(stored, predicted + 1);  // eviction fires exactly past capacity
+}
+
+TEST(SlabAllocatorTest, DifferentClassesDoNotInterfere) {
+  SlabAllocator allocator(SmallArena());
+  Result<KvObject*> small = allocator.Allocate("k1234567", "v", 0, nullptr);
+  Result<KvObject*> large =
+      allocator.Allocate("k1234567", std::string(500, 'x'), 0, nullptr);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_NE((*small)->slab_class, (*large)->slab_class);
+  EXPECT_EQ((*large)->Value().size(), 500u);
+}
+
+// Property test: random allocate/free churn keeps every live object intact.
+TEST(SlabAllocatorTest, PropertyChurnPreservesContents) {
+  SlabAllocator allocator(SmallArena(512 << 10));
+  Random rng(42);
+  std::map<std::string, std::pair<KvObject*, std::string>> live;
+  for (int step = 0; step < 5000; ++step) {
+    if (live.size() > 100 && rng.Bernoulli(0.5)) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBounded(live.size())));
+      allocator.Free(it->second.first);
+      live.erase(it);
+    } else {
+      const std::string key = "key" + std::to_string(rng.NextBounded(100000));
+      if (live.count(key) != 0) continue;
+      const std::string value(rng.NextBounded(200) + 1, 'a' + step % 26);
+      Result<KvObject*> object = allocator.Allocate(key, value, 0, nullptr);
+      if (!object.ok()) continue;
+      live[key] = {*object, value};
+    }
+  }
+  for (const auto& [key, entry] : live) {
+    EXPECT_EQ(entry.first->Key(), key);
+    EXPECT_EQ(entry.first->Value(), entry.second);
+  }
+}
+
+// -------------------------------------------------------- MemoryManager --
+
+TEST(MemoryManagerTest, CountersTrackOperations) {
+  MemoryManager manager(SmallArena(64 << 10));
+  std::vector<SlabAllocator::EvictedObject> evictions;
+  const size_t capacity = (64 << 10) / 64;
+  for (size_t i = 0; i < capacity + 5; ++i) {
+    Result<KvObject*> object = manager.AllocateObject(
+        "key" + std::to_string(10000 + i), "v", 0, &evictions);
+    ASSERT_TRUE(object.ok());
+  }
+  EXPECT_EQ(manager.counters().allocations, capacity + 5);
+  EXPECT_EQ(manager.counters().evictions, 5u);
+  EXPECT_EQ(evictions.size(), 5u);
+}
+
+TEST(MemoryManagerTest, FailedAllocationCounted) {
+  MemoryManager manager(SmallArena());
+  Result<KvObject*> object =
+      manager.AllocateObject("k", std::string(1 << 20, 'x'), 0, nullptr);
+  EXPECT_FALSE(object.ok());
+  EXPECT_EQ(manager.counters().failed_allocations, 1u);
+}
+
+TEST(MemoryManagerTest, FreeIncrementsCounter) {
+  MemoryManager manager(SmallArena());
+  Result<KvObject*> object = manager.AllocateObject("key12345", "v", 0, nullptr);
+  ASSERT_TRUE(object.ok());
+  manager.FreeObject(*object);
+  EXPECT_EQ(manager.counters().frees, 1u);
+}
+
+TEST(MemoryManagerTest, ResetCountersClears) {
+  MemoryManager manager(SmallArena());
+  ASSERT_TRUE(manager.AllocateObject("key12345", "v", 0, nullptr).ok());
+  manager.ResetCounters();
+  EXPECT_EQ(manager.counters().allocations, 0u);
+}
+
+}  // namespace
+}  // namespace dido

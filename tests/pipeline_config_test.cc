@@ -1,0 +1,261 @@
+// Tests for pipeline partitioning, floating index-op placement and the
+// configuration enumeration.
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline_config.h"
+#include "pipeline/task.h"
+
+namespace dido {
+namespace {
+
+bool StageHas(const StageSpec& stage, TaskKind task) {
+  return stage.Contains(task);
+}
+
+TEST(TaskTest, ChainOrderMatchesWorkflow) {
+  ASSERT_EQ(kTaskChain.size(), 8u);
+  EXPECT_EQ(kTaskChain[0], TaskKind::kRv);
+  EXPECT_EQ(kTaskChain[2], TaskKind::kMm);
+  EXPECT_EQ(kTaskChain[3], TaskKind::kInSearch);
+  EXPECT_EQ(kTaskChain[7], TaskKind::kSd);
+}
+
+TEST(TaskTest, ChainIndexAndFloatingness) {
+  EXPECT_EQ(ChainIndexOf(TaskKind::kRv), 0);
+  EXPECT_EQ(ChainIndexOf(TaskKind::kSd), 7);
+  EXPECT_EQ(ChainIndexOf(TaskKind::kInInsert), -1);
+  EXPECT_EQ(ChainIndexOf(TaskKind::kInDelete), -1);
+  EXPECT_TRUE(IsFloatingTask(TaskKind::kInInsert));
+  EXPECT_TRUE(IsFloatingTask(TaskKind::kInDelete));
+  EXPECT_FALSE(IsFloatingTask(TaskKind::kInSearch));
+}
+
+TEST(TaskTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumTaskKinds; ++i) {
+    names.insert(std::string(TaskKindName(static_cast<TaskKind>(i))));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumTaskKinds));
+}
+
+TEST(PipelineConfigTest, MegaKvLayoutMatchesPaper) {
+  // [RV, PP, MM]cpu -> [IN]gpu -> [KC, RD, WR, SD]cpu (paper Section V-C).
+  const PipelineConfig config = PipelineConfig::MegaKv();
+  ASSERT_TRUE(config.Valid());
+  EXPECT_FALSE(config.work_stealing);
+  EXPECT_TRUE(config.static_cpu_assignment);
+  const std::vector<StageSpec> stages = config.Stages(4);
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].device, Device::kCpu);
+  EXPECT_TRUE(StageHas(stages[0], TaskKind::kRv));
+  EXPECT_TRUE(StageHas(stages[0], TaskKind::kPp));
+  EXPECT_TRUE(StageHas(stages[0], TaskKind::kMm));
+  EXPECT_EQ(stages[1].device, Device::kGpu);
+  EXPECT_TRUE(StageHas(stages[1], TaskKind::kInSearch));
+  EXPECT_TRUE(StageHas(stages[1], TaskKind::kInInsert));
+  EXPECT_TRUE(StageHas(stages[1], TaskKind::kInDelete));
+  EXPECT_EQ(stages[2].device, Device::kCpu);
+  EXPECT_TRUE(StageHas(stages[2], TaskKind::kKc));
+  EXPECT_TRUE(StageHas(stages[2], TaskKind::kSd));
+  // Static split of 4 cores over 2 CPU stages.
+  EXPECT_EQ(stages[0].cpu_cores, 2);
+  EXPECT_EQ(stages[2].cpu_cores, 2);
+}
+
+TEST(PipelineConfigTest, DidoDefaultEnablesDynamicFeatures) {
+  const PipelineConfig config = PipelineConfig::DidoDefault();
+  EXPECT_TRUE(config.work_stealing);
+  EXPECT_FALSE(config.static_cpu_assignment);
+}
+
+TEST(PipelineConfigTest, DeviceForRespectsCuts) {
+  PipelineConfig config;
+  config.gpu_begin = 3;
+  config.gpu_end = 6;  // IN.S, KC, RD on GPU
+  config.insert_device = Device::kCpu;
+  config.delete_device = Device::kCpu;
+  EXPECT_EQ(config.DeviceFor(TaskKind::kRv), Device::kCpu);
+  EXPECT_EQ(config.DeviceFor(TaskKind::kInSearch), Device::kGpu);
+  EXPECT_EQ(config.DeviceFor(TaskKind::kKc), Device::kGpu);
+  EXPECT_EQ(config.DeviceFor(TaskKind::kRd), Device::kGpu);
+  EXPECT_EQ(config.DeviceFor(TaskKind::kWr), Device::kCpu);
+  EXPECT_EQ(config.DeviceFor(TaskKind::kInInsert), Device::kCpu);
+}
+
+TEST(PipelineConfigTest, FloatingTasksLandAfterMm) {
+  // CPU-assigned Insert/Delete attach to the CPU stage containing MM.
+  PipelineConfig config;
+  config.gpu_begin = 3;
+  config.gpu_end = 6;
+  config.insert_device = Device::kCpu;
+  config.delete_device = Device::kCpu;
+  const std::vector<StageSpec> stages = config.Stages(4);
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_TRUE(StageHas(stages[0], TaskKind::kInInsert));
+  EXPECT_TRUE(StageHas(stages[0], TaskKind::kInDelete));
+  // Delete must come before Insert in execution order.
+  const auto& tasks = stages[0].tasks;
+  const auto del = std::find(tasks.begin(), tasks.end(), TaskKind::kInDelete);
+  const auto ins = std::find(tasks.begin(), tasks.end(), TaskKind::kInInsert);
+  EXPECT_LT(del - tasks.begin(), ins - tasks.begin());
+  // And after MM.
+  const auto mm = std::find(tasks.begin(), tasks.end(), TaskKind::kMm);
+  EXPECT_LT(mm - tasks.begin(), del - tasks.begin());
+}
+
+TEST(PipelineConfigTest, CpuFloatingFallsBackToPostStage) {
+  // GPU stage begins before MM's successor: chain [RV][PP]gpu[MM..SD]cpu —
+  // wait, MM on GPU is invalid, so use gpu over [PP] only.
+  PipelineConfig config;
+  config.gpu_begin = 1;
+  config.gpu_end = 2;  // GPU does PP only (MemcachedGPU-style)
+  config.insert_device = Device::kCpu;
+  config.delete_device = Device::kCpu;
+  ASSERT_TRUE(config.Valid());
+  const std::vector<StageSpec> stages = config.Stages(4);
+  ASSERT_EQ(stages.size(), 3u);
+  // Stage 0 = [RV] has no MM; floats must go to the post stage.
+  EXPECT_FALSE(StageHas(stages[0], TaskKind::kInInsert));
+  EXPECT_TRUE(StageHas(stages[2], TaskKind::kInInsert));
+  EXPECT_TRUE(StageHas(stages[2], TaskKind::kInDelete));
+}
+
+TEST(PipelineConfigTest, MmNeverOnGpu) {
+  PipelineConfig config;
+  config.gpu_begin = 2;  // would put MM on the GPU
+  config.gpu_end = 4;
+  config.insert_device = Device::kCpu;
+  config.delete_device = Device::kCpu;
+  EXPECT_FALSE(config.Valid());
+}
+
+TEST(PipelineConfigTest, GpuFloatingRequiresGpuStageAfterMm) {
+  PipelineConfig config;
+  config.gpu_begin = 1;
+  config.gpu_end = 2;  // GPU runs PP only, before MM
+  config.insert_device = Device::kGpu;
+  config.delete_device = Device::kCpu;
+  EXPECT_FALSE(config.Valid());
+}
+
+TEST(PipelineConfigTest, PureCpuPipelineMergesStages) {
+  PipelineConfig config;
+  config.gpu_begin = 4;
+  config.gpu_end = 4;  // empty GPU stage
+  config.insert_device = Device::kCpu;
+  config.delete_device = Device::kCpu;
+  ASSERT_TRUE(config.Valid());
+  EXPECT_FALSE(config.HasGpuStage());
+  const std::vector<StageSpec> stages = config.Stages(4);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].cpu_cores, 4);
+  EXPECT_EQ(stages[0].tasks.size(), 10u);  // all tasks incl. floats
+}
+
+TEST(PipelineConfigTest, PureCpuCannotHostGpuFloats) {
+  PipelineConfig config;
+  config.gpu_begin = 4;
+  config.gpu_end = 4;
+  config.insert_device = Device::kGpu;
+  EXPECT_FALSE(config.Valid());
+  // DeviceFor degrades gracefully to CPU for pure-CPU pipelines.
+  config.insert_device = Device::kCpu;
+  config.delete_device = Device::kCpu;
+  EXPECT_EQ(config.DeviceFor(TaskKind::kInInsert), Device::kCpu);
+}
+
+TEST(PipelineConfigTest, SameStageSemantics) {
+  const PipelineConfig megakv = PipelineConfig::MegaKv();
+  EXPECT_TRUE(megakv.SameStage(TaskKind::kRv, TaskKind::kMm));
+  EXPECT_TRUE(megakv.SameStage(TaskKind::kKc, TaskKind::kRd));
+  EXPECT_TRUE(megakv.SameStage(TaskKind::kRd, TaskKind::kWr));
+  EXPECT_FALSE(megakv.SameStage(TaskKind::kMm, TaskKind::kInSearch));
+  EXPECT_FALSE(megakv.SameStage(TaskKind::kInSearch, TaskKind::kKc));
+
+  PipelineConfig split;
+  split.gpu_begin = 3;
+  split.gpu_end = 6;  // [IN.S,KC,RD]gpu
+  EXPECT_TRUE(split.SameStage(TaskKind::kInSearch, TaskKind::kKc));
+  EXPECT_TRUE(split.SameStage(TaskKind::kKc, TaskKind::kRd));
+  EXPECT_FALSE(split.SameStage(TaskKind::kRd, TaskKind::kWr));
+  // Pure CPU: everything is one stage.
+  PipelineConfig pure;
+  pure.gpu_begin = 4;
+  pure.gpu_end = 4;
+  pure.insert_device = Device::kCpu;
+  pure.delete_device = Device::kCpu;
+  EXPECT_TRUE(pure.SameStage(TaskKind::kRv, TaskKind::kSd));
+}
+
+TEST(PipelineConfigTest, ValidityBounds) {
+  PipelineConfig config;
+  config.insert_device = Device::kCpu;
+  config.delete_device = Device::kCpu;
+  config.gpu_begin = 0;  // RV may not leave the CPU's first stage
+  config.gpu_end = 2;
+  EXPECT_FALSE(config.Valid());
+  config.gpu_begin = 3;
+  config.gpu_end = 8;  // SD may not leave the CPU's last stage
+  EXPECT_FALSE(config.Valid());
+  config.gpu_end = 2;  // end < begin
+  EXPECT_FALSE(config.Valid());
+}
+
+TEST(PipelineConfigTest, ToStringShowsPartitioning) {
+  const std::string repr = PipelineConfig::MegaKv().ToString();
+  EXPECT_NE(repr.find("[RV,PP,MM]cpu"), std::string::npos);
+  EXPECT_NE(repr.find("gpu"), std::string::npos);
+  EXPECT_NE(repr.find("ws=0"), std::string::npos);
+}
+
+TEST(EnumerateConfigsTest, AllValidAndUnique) {
+  const std::vector<PipelineConfig> configs = EnumerateConfigs(true);
+  EXPECT_GT(configs.size(), 20u);
+  std::set<std::string> reprs;
+  for (const PipelineConfig& config : configs) {
+    EXPECT_TRUE(config.Valid()) << config.ToString();
+    EXPECT_TRUE(config.work_stealing);
+    EXPECT_FALSE(config.static_cpu_assignment);
+    reprs.insert(config.ToString());
+  }
+  EXPECT_EQ(reprs.size(), configs.size());
+}
+
+TEST(EnumerateConfigsTest, IncludesMegaKvCutAndPureCpu) {
+  const std::vector<PipelineConfig> configs = EnumerateConfigs(false);
+  bool megakv_cut = false;
+  int pure_cpu = 0;
+  for (const PipelineConfig& config : configs) {
+    if (config.gpu_begin == 3 && config.gpu_end == 4 &&
+        config.insert_device == Device::kGpu &&
+        config.delete_device == Device::kGpu) {
+      megakv_cut = true;
+    }
+    if (!config.HasGpuStage()) ++pure_cpu;
+  }
+  EXPECT_TRUE(megakv_cut);
+  EXPECT_EQ(pure_cpu, 1);  // the pure-CPU pipeline is deduplicated
+}
+
+TEST(EnumerateConfigsTest, NoMmOnGpuAnywhere) {
+  for (const PipelineConfig& config : EnumerateConfigs(true)) {
+    EXPECT_EQ(config.DeviceFor(TaskKind::kMm), Device::kCpu)
+        << config.ToString();
+    EXPECT_EQ(config.DeviceFor(TaskKind::kRv), Device::kCpu);
+    EXPECT_EQ(config.DeviceFor(TaskKind::kSd), Device::kCpu);
+  }
+}
+
+TEST(SchedulingIntervalTest, DividesLatencyBudget) {
+  EXPECT_DOUBLE_EQ(SchedulingIntervalUs(1000.0, 3), 250.0);
+  EXPECT_DOUBLE_EQ(SchedulingIntervalUs(1000.0, 1), 500.0);
+  EXPECT_DOUBLE_EQ(SchedulingIntervalUs(600.0, 2), 200.0);
+}
+
+}  // namespace
+}  // namespace dido

@@ -1,0 +1,252 @@
+// Tests for the APU device model: timing, latency hiding, bandwidth floor,
+// interference and the analytic cache model.
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_model.h"
+#include "sim/device_spec.h"
+#include "sim/interference.h"
+#include "sim/timing_model.h"
+
+namespace dido {
+namespace {
+
+TEST(DeviceSpecTest, KaveriShapeMatchesPaperPlatform) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  EXPECT_EQ(spec.cpu.cores, 4);          // four 3.7 GHz CPU cores
+  EXPECT_NEAR(spec.cpu.freq_ghz, 3.7, 1e-9);
+  EXPECT_EQ(spec.gpu.cores, 8);          // eight compute units
+  EXPECT_EQ(spec.gpu.simd_width, 64);    // of 64 shaders each
+  EXPECT_NEAR(spec.gpu.freq_ghz, 0.72, 1e-9);
+  EXPECT_GT(spec.gpu.mem_latency_ns, spec.cpu.mem_latency_ns);
+  EXPECT_GT(spec.gpu.launch_overhead_us, 0.0);
+}
+
+TEST(DeviceSpecTest, DeviceNameAndAccessor) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  EXPECT_EQ(DeviceName(Device::kCpu), "CPU");
+  EXPECT_EQ(DeviceName(Device::kGpu), "GPU");
+  EXPECT_EQ(&spec.device(Device::kCpu), &spec.cpu);
+  EXPECT_EQ(&spec.device(Device::kGpu), &spec.gpu);
+}
+
+TEST(TimingModelTest, ZeroItemsZeroTime) {
+  TimingModel model(DefaultKaveriSpec());
+  AccessCounts counts;
+  counts.instructions = 100;
+  EXPECT_DOUBLE_EQ(model.TaskTime(Device::kCpu, counts, 0), 0.0);
+}
+
+TEST(TimingModelTest, CpuTimeScalesLinearly) {
+  TimingModel model(DefaultKaveriSpec());
+  AccessCounts counts;
+  counts.instructions = 200;
+  counts.mem_accesses = 1.5;
+  const Micros t1 = model.TaskTime(Device::kCpu, counts, 1000);
+  const Micros t2 = model.TaskTime(Device::kCpu, counts, 2000);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+}
+
+TEST(TimingModelTest, CpuTimeInverseInCores) {
+  TimingModel model(DefaultKaveriSpec());
+  AccessCounts counts;
+  counts.instructions = 200;
+  counts.mem_accesses = 1.0;
+  const Micros t1 = model.TaskTime(Device::kCpu, counts, 1000, 1);
+  const Micros t4 = model.TaskTime(Device::kCpu, counts, 1000, 4);
+  EXPECT_NEAR(t1 / t4, 4.0, 0.01);
+}
+
+TEST(TimingModelTest, GpuSmallBatchPenalty) {
+  // The per-query cost on the GPU must drop sharply as the batch grows —
+  // the Fig. 6 effect (small Insert/Delete batches waste the machine).
+  TimingModel model(DefaultKaveriSpec());
+  AccessCounts counts;
+  counts.instructions = 300;
+  counts.mem_accesses = 2.0;
+  const double per_query_64 =
+      model.TaskTime(Device::kGpu, counts, 64) / 64.0;
+  const double per_query_4096 =
+      model.TaskTime(Device::kGpu, counts, 4096) / 4096.0;
+  EXPECT_GT(per_query_64, 10.0 * per_query_4096);
+}
+
+TEST(TimingModelTest, GpuLaunchOverheadFloorsSmallKernels) {
+  TimingModel model(DefaultKaveriSpec());
+  AccessCounts counts;
+  counts.instructions = 10;
+  EXPECT_GE(model.TaskTime(Device::kGpu, counts, 1),
+            DefaultKaveriSpec().gpu.launch_overhead_us);
+}
+
+TEST(TimingModelTest, GpuHideFactorSaturates) {
+  TimingModel model(DefaultKaveriSpec());
+  EXPECT_DOUBLE_EQ(model.GpuHideFactor(64), 1.0);
+  EXPECT_GT(model.GpuHideFactor(4096), model.GpuHideFactor(512));
+  EXPECT_DOUBLE_EQ(model.GpuHideFactor(1 << 20),
+                   DefaultKaveriSpec().gpu.max_waves_per_cu);
+}
+
+TEST(TimingModelTest, GpuLatencyHidingBeatsCpuOnRandomAccess) {
+  // Large batches of random index probes run faster on the GPU (the premise
+  // of Mega-KV / DIDO offloading IN).
+  TimingModel model(DefaultKaveriSpec());
+  AccessCounts counts;
+  counts.instructions = 220;
+  counts.mem_accesses = 2.0;
+  const uint64_t n = 4096;
+  EXPECT_LT(model.TaskTime(Device::kGpu, counts, n),
+            model.TaskTime(Device::kCpu, counts, n));
+}
+
+TEST(TimingModelTest, BandwidthFloorLimitsStreaming) {
+  // A task that touches many lines per query must be bounded by streaming
+  // bandwidth, not by the (latency-hidden) cache model.
+  ApuSpec spec = DefaultKaveriSpec();
+  TimingModel model(spec);
+  AccessCounts counts;
+  counts.cache_accesses = 64.0;  // 4 KB per query
+  const uint64_t n = 4096;
+  const double bytes = 64.0 * 64.0 * n;
+  const double floor_us = bytes / (spec.gpu.stream_bandwidth_gbps * 1e3);
+  EXPECT_GE(model.TaskTime(Device::kGpu, counts, n),
+            floor_us);
+}
+
+TEST(TimingModelTest, InterferenceAtLeastOne) {
+  TimingModel model(DefaultKaveriSpec());
+  EXPECT_GE(model.InterferenceFactor(Device::kCpu, 0.0, 0.0), 1.0);
+  EXPECT_GE(model.InterferenceFactor(Device::kGpu, 50.0, 0.0), 1.0);
+}
+
+TEST(TimingModelTest, InterferenceMonotoneInOtherTraffic) {
+  TimingModel model(DefaultKaveriSpec());
+  double prev = 0.0;
+  for (double other : {0.0, 20.0, 50.0, 100.0, 200.0}) {
+    const double mu = model.InterferenceFactor(Device::kCpu, 30.0, other);
+    EXPECT_GE(mu, prev);
+    prev = mu;
+  }
+}
+
+TEST(TimingModelTest, GpuHurtsCpuMoreThanViceVersa) {
+  // Kayiran et al. asymmetry (paper Section IV).
+  TimingModel model(DefaultKaveriSpec());
+  EXPECT_GT(model.InterferenceFactor(Device::kCpu, 30.0, 60.0),
+            model.InterferenceFactor(Device::kGpu, 30.0, 60.0));
+}
+
+TEST(TimingModelTest, NoiseIsDeterministicAndBounded) {
+  for (uint64_t batch = 0; batch < 1000; ++batch) {
+    const double a = TimingModel::NoiseFactor(42, batch, 0.06);
+    const double b = TimingModel::NoiseFactor(42, batch, 0.06);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GE(a, 0.94);
+    EXPECT_LE(a, 1.06);
+  }
+  EXPECT_NE(TimingModel::NoiseFactor(1, 0, 0.06),
+            TimingModel::NoiseFactor(2, 0, 0.06));
+}
+
+TEST(TimingModelTest, IntensityComputation) {
+  AccessCounts counts;
+  counts.mem_accesses = 2.0;
+  EXPECT_DOUBLE_EQ(TimingModel::Intensity(counts, 1000, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(TimingModel::Intensity(counts, 1000, 0.0), 0.0);
+}
+
+// -------------------------------------------------- InterferenceGrid -----
+
+TEST(InterferenceGridTest, LookupNearContinuousModel) {
+  TimingModel model(DefaultKaveriSpec());
+  InterferenceGrid grid(model, 16);
+  for (double own : {10.0, 50.0, 120.0}) {
+    for (double other : {5.0, 60.0, 150.0}) {
+      const double continuous =
+          model.InterferenceFactor(Device::kCpu, own, other);
+      const double quantized = grid.Lookup(Device::kCpu, own, other);
+      EXPECT_NEAR(quantized, continuous, 0.35);
+    }
+  }
+}
+
+TEST(InterferenceGridTest, CoarserGridQuantizesMore) {
+  TimingModel model(DefaultKaveriSpec());
+  InterferenceGrid fine(model, 32);
+  InterferenceGrid coarse(model, 2);
+  double fine_err = 0.0;
+  double coarse_err = 0.0;
+  for (double own : {10.0, 40.0, 90.0, 140.0}) {
+    for (double other : {10.0, 40.0, 90.0, 140.0}) {
+      const double truth = model.InterferenceFactor(Device::kGpu, own, other);
+      fine_err += std::abs(fine.Lookup(Device::kGpu, own, other) - truth);
+      coarse_err += std::abs(coarse.Lookup(Device::kGpu, own, other) - truth);
+    }
+  }
+  EXPECT_LT(fine_err, coarse_err);
+}
+
+TEST(InterferenceGridTest, ClampsOutOfRangeIntensity) {
+  TimingModel model(DefaultKaveriSpec());
+  InterferenceGrid grid(model, 8);
+  EXPECT_GE(grid.Lookup(Device::kCpu, 1e6, 1e6), 1.0);  // no crash, clamped
+}
+
+// -------------------------------------------------------- CacheModel -----
+
+TEST(CacheModelTest, CachedObjectCount) {
+  DeviceSpec dev = DefaultKaveriSpec().cpu;
+  dev.cache_bytes = 1 << 20;
+  EXPECT_EQ(CachedObjectCount(dev, 1024.0), (1u << 20) / 1024);
+  EXPECT_EQ(CachedObjectCount(dev, 0.0), 0u);
+}
+
+TEST(CacheModelTest, HotFractionBounds) {
+  const DeviceSpec dev = DefaultKaveriSpec().cpu;
+  const double f = HotAccessFraction(dev, 128.0, 1 << 20, true, 0.99);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 1.0);
+  // Everything fits -> 1.0.
+  EXPECT_DOUBLE_EQ(HotAccessFraction(dev, 128.0, 100, true, 0.99), 1.0);
+}
+
+TEST(CacheModelTest, ZipfBeatsUniformHotFraction) {
+  const DeviceSpec dev = DefaultKaveriSpec().cpu;
+  const double zipf = HotAccessFraction(dev, 128.0, 1 << 22, true, 0.99);
+  const double uniform = HotAccessFraction(dev, 128.0, 1 << 22, false, 0.0);
+  EXPECT_GT(zipf, 5.0 * uniform);
+}
+
+TEST(CacheModelTest, BiggerObjectsLowerHotFraction) {
+  const DeviceSpec dev = DefaultKaveriSpec().cpu;
+  EXPECT_GT(HotAccessFraction(dev, 64.0, 1 << 22, true, 0.99),
+            HotAccessFraction(dev, 1200.0, 1 << 22, true, 0.99));
+}
+
+TEST(CacheModelTest, GpuCacheSmallerThanCpu) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  EXPECT_GT(HotAccessFraction(spec.cpu, 128.0, 1 << 22, true, 0.99),
+            HotAccessFraction(spec.gpu, 128.0, 1 << 22, true, 0.99));
+}
+
+TEST(CacheModelTest, LineMath) {
+  const DeviceSpec dev = DefaultKaveriSpec().cpu;  // 64 B lines
+  EXPECT_DOUBLE_EQ(TrailingLines(8.0, dev), 0.0);
+  EXPECT_DOUBLE_EQ(TrailingLines(64.0, dev), 0.0);
+  EXPECT_DOUBLE_EQ(TrailingLines(65.0, dev), 1.0);
+  EXPECT_DOUBLE_EQ(TrailingLines(1024.0, dev), 15.0);
+  EXPECT_DOUBLE_EQ(TotalLines(8.0, dev), 1.0);
+  EXPECT_DOUBLE_EQ(TotalLines(1024.0, dev), 16.0);
+}
+
+TEST(DiscreteSpecTest, HasPcieAndBeefierParts) {
+  const DiscreteSystemSpec spec = DefaultDiscreteSpec();
+  EXPECT_GT(spec.pcie_latency_us, 0.0);
+  EXPECT_GT(spec.cpu.cores, DefaultKaveriSpec().cpu.cores);
+  EXPECT_GT(spec.gpu.stream_bandwidth_gbps,
+            DefaultKaveriSpec().gpu.stream_bandwidth_gbps);
+  EXPECT_GT(spec.tdp_watts, kApuTdpWatts);
+}
+
+}  // namespace
+}  // namespace dido

@@ -1,0 +1,237 @@
+// Tests for the per-task access-count model shared by the simulator and the
+// cost model: task affinity, staging, key popularity and item counting.
+
+#include <gtest/gtest.h>
+
+#include "pipeline/task_costs.h"
+
+namespace dido {
+namespace {
+
+WorkloadProfileData BaseProfile() {
+  WorkloadProfileData profile;
+  profile.batch_n = 4096;
+  profile.get_ratio = 0.95;
+  profile.hit_ratio = 1.0;
+  profile.inserts_per_query = 0.05;
+  profile.deletes_per_query = 0.05;
+  profile.avg_key_bytes = 16;
+  profile.avg_value_bytes = 64;
+  profile.zipf = false;
+  profile.num_objects = 1 << 20;
+  profile.queries_per_frame = 32.0;
+  return profile;
+}
+
+PipelineConfig KcRdTogether() {
+  PipelineConfig config;
+  config.gpu_begin = 3;
+  config.gpu_end = 6;  // [IN.S, KC, RD] together on the GPU
+  return config;
+}
+
+PipelineConfig KcRdApart() {
+  PipelineConfig config;
+  config.gpu_begin = 3;
+  config.gpu_end = 5;  // KC on GPU, RD on CPU
+  return config;
+}
+
+TEST(TaskItemCountTest, CountsFollowQueryMix) {
+  const WorkloadProfileData profile = BaseProfile();
+  EXPECT_DOUBLE_EQ(TaskItemCount(TaskKind::kPp, profile), 4096.0);
+  EXPECT_DOUBLE_EQ(TaskItemCount(TaskKind::kWr, profile), 4096.0);
+  EXPECT_DOUBLE_EQ(TaskItemCount(TaskKind::kInSearch, profile),
+                   4096.0 * 0.95);
+  EXPECT_DOUBLE_EQ(TaskItemCount(TaskKind::kKc, profile), 4096.0 * 0.95);
+  EXPECT_DOUBLE_EQ(TaskItemCount(TaskKind::kRd, profile), 4096.0 * 0.95);
+  EXPECT_NEAR(TaskItemCount(TaskKind::kMm, profile), 4096.0 * 0.05, 1e-9);
+  EXPECT_NEAR(TaskItemCount(TaskKind::kInInsert, profile), 4096.0 * 0.05,
+              1e-9);
+  EXPECT_DOUBLE_EQ(TaskItemCount(TaskKind::kRv, profile), 128.0);  // frames
+  EXPECT_DOUBLE_EQ(TaskItemCount(TaskKind::kSd, profile), 128.0);
+}
+
+TEST(TaskItemCountTest, MissesShrinkRd) {
+  WorkloadProfileData profile = BaseProfile();
+  profile.hit_ratio = 0.5;
+  EXPECT_DOUBLE_EQ(TaskItemCount(TaskKind::kRd, profile),
+                   4096.0 * 0.95 * 0.5);
+}
+
+TEST(TaskCostsTest, AffinityMakesRdCacheResident) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  const WorkloadProfileData profile = BaseProfile();
+  const AccessCounts together = TaskAccessCounts(
+      TaskKind::kRd, Device::kGpu, profile, KcRdTogether(), spec);
+  const AccessCounts apart = TaskAccessCounts(TaskKind::kRd, Device::kGpu,
+                                              profile, KcRdApart(), spec);
+  // Co-located with KC: no DRAM access for the object (already cached).
+  EXPECT_DOUBLE_EQ(together.mem_accesses, 0.0);
+  EXPECT_GT(apart.mem_accesses, 0.5);
+}
+
+TEST(TaskCostsTest, AffinityFlagDisablesBenefit) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  const WorkloadProfileData profile = BaseProfile();
+  TaskCostFlags no_affinity;
+  no_affinity.model_affinity = false;
+  const AccessCounts counts = TaskAccessCounts(
+      TaskKind::kRd, Device::kGpu, profile, KcRdTogether(), spec, no_affinity);
+  EXPECT_GT(counts.mem_accesses, 0.5);
+}
+
+TEST(TaskCostsTest, StagingAddsSequentialTraffic) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  const WorkloadProfileData profile = BaseProfile();
+  // RD/WR in the same stage: no staging buffer.
+  const AccessCounts same = TaskAccessCounts(
+      TaskKind::kRd, Device::kCpu, profile, PipelineConfig::MegaKv(), spec);
+  // RD on GPU, WR on CPU: RD writes the staging buffer.
+  const AccessCounts apart = TaskAccessCounts(TaskKind::kRd, Device::kCpu,
+                                              profile, KcRdTogether(), spec);
+  EXPECT_GT(apart.cache_accesses, same.cache_accesses);
+}
+
+TEST(TaskCostsTest, PopularityTurnsMemoryIntoCache) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  WorkloadProfileData uniform = BaseProfile();
+  WorkloadProfileData zipf = BaseProfile();
+  zipf.zipf = true;
+  zipf.zipf_skew = 0.99;
+  const PipelineConfig config = KcRdApart();
+  const AccessCounts u =
+      TaskAccessCounts(TaskKind::kKc, Device::kCpu, uniform, config, spec);
+  const AccessCounts z =
+      TaskAccessCounts(TaskKind::kKc, Device::kCpu, zipf, config, spec);
+  EXPECT_LT(z.mem_accesses, u.mem_accesses);
+  EXPECT_GT(z.cache_accesses, u.cache_accesses);
+}
+
+TEST(TaskCostsTest, PopularityFlagDisablesHotSet) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  WorkloadProfileData zipf = BaseProfile();
+  zipf.zipf = true;
+  TaskCostFlags no_pop;
+  no_pop.model_popularity = false;
+  const AccessCounts with_pop = TaskAccessCounts(
+      TaskKind::kKc, Device::kCpu, zipf, KcRdApart(), spec);
+  const AccessCounts without_pop = TaskAccessCounts(
+      TaskKind::kKc, Device::kCpu, zipf, KcRdApart(), spec, no_pop);
+  EXPECT_GT(without_pop.mem_accesses, with_pop.mem_accesses);
+}
+
+TEST(TaskCostsTest, IndexOpsChargeProbes) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  WorkloadProfileData profile = BaseProfile();
+  profile.search_probes = 1.7;
+  profile.insert_probes = 2.3;
+  profile.delete_probes = 1.9;
+  const PipelineConfig config = PipelineConfig::MegaKv();
+  EXPECT_DOUBLE_EQ(TaskAccessCounts(TaskKind::kInSearch, Device::kGpu,
+                                    profile, config, spec)
+                       .mem_accesses,
+                   1.7);
+  EXPECT_DOUBLE_EQ(TaskAccessCounts(TaskKind::kInInsert, Device::kGpu,
+                                    profile, config, spec)
+                       .mem_accesses,
+                   2.3);
+  EXPECT_DOUBLE_EQ(TaskAccessCounts(TaskKind::kInDelete, Device::kGpu,
+                                    profile, config, spec)
+                       .mem_accesses,
+                   1.9);
+}
+
+TEST(TaskCostsTest, GpuInflationRaisesInstructions) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  const WorkloadProfileData profile = BaseProfile();
+  const PipelineConfig config = KcRdTogether();
+  const AccessCounts cpu =
+      TaskAccessCounts(TaskKind::kKc, Device::kCpu, profile, config, spec);
+  const AccessCounts gpu =
+      TaskAccessCounts(TaskKind::kKc, Device::kGpu, profile, config, spec);
+  EXPECT_GT(gpu.instructions, cpu.instructions * 2.0);
+}
+
+TEST(TaskCostsTest, RvSdChargedPerFrameNotPerAccess) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  const WorkloadProfileData profile = BaseProfile();
+  const PipelineConfig config = PipelineConfig::MegaKv();
+  const AccessCounts rv =
+      TaskAccessCounts(TaskKind::kRv, Device::kCpu, profile, config, spec);
+  EXPECT_DOUBLE_EQ(rv.instructions, 0.0);
+  EXPECT_DOUBLE_EQ(rv.mem_accesses, 0.0);
+}
+
+TEST(StageTimeTest, PositiveAndAdditive) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  const TimingModel timing(spec);
+  const WorkloadProfileData profile = BaseProfile();
+  const PipelineConfig config = PipelineConfig::MegaKv();
+  const std::vector<StageSpec> stages = config.Stages(4);
+  double total = 0.0;
+  for (const StageSpec& stage : stages) {
+    const Micros t = StageTimeNoInterference(stage, profile, config, timing);
+    EXPECT_GT(t, 0.0);
+    total += t;
+  }
+  // A one-task stage costs less than the full pipeline.
+  StageSpec single;
+  single.device = Device::kGpu;
+  single.tasks = {TaskKind::kInSearch};
+  EXPECT_LT(StageTimeNoInterference(single, profile, config, timing), total);
+}
+
+TEST(StageTimeTest, LargerValuesCostMore) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  const TimingModel timing(spec);
+  const PipelineConfig config = PipelineConfig::MegaKv();
+  WorkloadProfileData small = BaseProfile();
+  WorkloadProfileData large = BaseProfile();
+  large.avg_value_bytes = 1024;
+  large.queries_per_frame = 2.0;
+  const std::vector<StageSpec> stages = config.Stages(4);
+  // The value-handling stage (KC/RD/WR/SD) grows with value size.
+  EXPECT_GT(StageTimeNoInterference(stages[2], large, config, timing),
+            StageTimeNoInterference(stages[2], small, config, timing));
+}
+
+TEST(StageIntensityTest, ProportionalToAccesses) {
+  const ApuSpec spec = DefaultKaveriSpec();
+  const TimingModel timing(spec);
+  const WorkloadProfileData profile = BaseProfile();
+  const PipelineConfig config = PipelineConfig::MegaKv();
+  StageSpec stage;
+  stage.device = Device::kGpu;
+  stage.tasks = {TaskKind::kInSearch};
+  const double intensity =
+      StageIntensity(stage, profile, config, timing, 100.0);
+  // 0.95 * 4096 searches at ~2 probes each over 100 us.
+  EXPECT_NEAR(intensity, 0.95 * 4096 * profile.search_probes / 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(StageIntensity(stage, profile, config, timing, 0.0), 0.0);
+}
+
+TEST(StageTimeTest, GpuStagePaysLaunchPerTask) {
+  // Mega-KV's three index kernels each pay a dispatch (Fig. 6's mechanism):
+  // the same work fused into fewer tasks is cheaper for tiny batches.
+  const ApuSpec spec = DefaultKaveriSpec();
+  const TimingModel timing(spec);
+  WorkloadProfileData profile = BaseProfile();
+  profile.batch_n = 64;  // tiny batch: launch overhead dominates
+  const PipelineConfig config = PipelineConfig::MegaKv();
+  StageSpec three_kernels;
+  three_kernels.device = Device::kGpu;
+  three_kernels.tasks = {TaskKind::kInSearch, TaskKind::kInInsert,
+                         TaskKind::kInDelete};
+  StageSpec one_kernel;
+  one_kernel.device = Device::kGpu;
+  one_kernel.tasks = {TaskKind::kInSearch};
+  const double t3 =
+      StageTimeNoInterference(three_kernels, profile, config, timing);
+  const double t1 =
+      StageTimeNoInterference(one_kernel, profile, config, timing);
+  EXPECT_GT(t3, t1 + 2.0 * spec.gpu.launch_overhead_us * 0.9);
+}
+
+}  // namespace
+}  // namespace dido

@@ -1,0 +1,116 @@
+// Tests for query-trace capture, serialization and replay.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workload/trace.h"
+
+namespace dido {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Trace MakeTrace(size_t n = 1000) {
+  WorkloadSpec spec = MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf);
+  WorkloadGenerator generator(spec, 5000, 7);
+  return CaptureTrace(generator, n);
+}
+
+TEST(TraceTest, CaptureRecordsGeneratorOutput) {
+  WorkloadSpec spec = MakeWorkload(DatasetK8(), 50, KeyDistribution::kUniform);
+  WorkloadGenerator a(spec, 1000, 3);
+  WorkloadGenerator b(spec, 1000, 3);
+  const Trace trace = CaptureTrace(a, 500);
+  ASSERT_EQ(trace.queries.size(), 500u);
+  EXPECT_EQ(trace.num_objects, 1000u);
+  for (const Query& query : trace.queries) {
+    const Query expected = b.Next();
+    EXPECT_EQ(query.op, expected.op);
+    EXPECT_EQ(query.key_index, expected.key_index);
+  }
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("roundtrip.trace");
+  const Trace original = MakeTrace(2000);
+  ASSERT_TRUE(SaveTrace(path, original).ok());
+  Result<Trace> loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->spec.dataset.key_size, 16u);
+  EXPECT_EQ(loaded->spec.dataset.value_size, 64u);
+  EXPECT_DOUBLE_EQ(loaded->spec.get_ratio, 0.95);
+  EXPECT_EQ(loaded->spec.distribution, KeyDistribution::kZipf);
+  EXPECT_EQ(loaded->num_objects, original.num_objects);
+  ASSERT_EQ(loaded->queries.size(), original.queries.size());
+  for (size_t i = 0; i < original.queries.size(); ++i) {
+    EXPECT_EQ(loaded->queries[i].op, original.queries[i].op);
+    EXPECT_EQ(loaded->queries[i].key_index, original.queries[i].key_index);
+  }
+}
+
+TEST(TraceTest, MissingFileFails) {
+  EXPECT_FALSE(LoadTrace(TempPath("does-not-exist.trace")).ok());
+}
+
+TEST(TraceTest, RejectsBadMagic) {
+  const std::string path = TempPath("badmagic.trace");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[64] = "this is not a trace file at all............";
+  std::fwrite(garbage, sizeof(garbage), 1, f);
+  std::fclose(f);
+  Result<Trace> loaded = LoadTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceTest, RejectsTruncatedBody) {
+  const std::string path = TempPath("truncated.trace");
+  ASSERT_TRUE(SaveTrace(path, MakeTrace(100)).ok());
+  // Chop off the last record.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 5), 0);
+  Result<Trace> loaded = LoadTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceTest, RejectsOutOfRangeKey) {
+  const std::string path = TempPath("badkey.trace");
+  Trace trace = MakeTrace(10);
+  trace.queries[5].key_index = trace.num_objects + 100;  // corrupt
+  ASSERT_TRUE(SaveTrace(path, trace).ok());
+  EXPECT_FALSE(LoadTrace(path).ok());
+}
+
+TEST(TraceTest, CursorWrapsAround) {
+  const Trace trace = MakeTrace(10);
+  TraceCursor cursor(&trace);
+  for (int i = 0; i < 25; ++i) {
+    const Query& q = cursor.Next();
+    EXPECT_EQ(q.key_index, trace.queries[i % 10].key_index);
+  }
+  EXPECT_EQ(cursor.wraps(), 2u);
+  EXPECT_EQ(cursor.position(), 5u);
+}
+
+TEST(TraceTest, EmptyTraceSavesAndLoads) {
+  const std::string path = TempPath("empty.trace");
+  Trace trace;
+  trace.spec = MakeWorkload(DatasetK8(), 100, KeyDistribution::kUniform);
+  trace.num_objects = 1;
+  ASSERT_TRUE(SaveTrace(path, trace).ok());
+  Result<Trace> loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->queries.empty());
+}
+
+}  // namespace
+}  // namespace dido

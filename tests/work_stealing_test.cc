@@ -1,0 +1,132 @@
+// Tests for the steal tag array and the chunk-split solver.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/work_stealing.h"
+
+namespace dido {
+namespace {
+
+TEST(StealTagArrayTest, ChunkCountRoundsUp) {
+  EXPECT_EQ(StealTagArray(0).num_chunks(), 0u);
+  EXPECT_EQ(StealTagArray(1).num_chunks(), 1u);
+  EXPECT_EQ(StealTagArray(64).num_chunks(), 1u);
+  EXPECT_EQ(StealTagArray(65).num_chunks(), 2u);
+  EXPECT_EQ(StealTagArray(6400).num_chunks(), 100u);
+}
+
+TEST(StealTagArrayTest, FifoClaimOrder) {
+  StealTagArray tags(64 * 4);
+  EXPECT_EQ(tags.Claim(Device::kCpu), 0);
+  EXPECT_EQ(tags.Claim(Device::kGpu), 1);
+  EXPECT_EQ(tags.Claim(Device::kCpu), 2);
+  EXPECT_EQ(tags.Claim(Device::kGpu), 3);
+  EXPECT_EQ(tags.Claim(Device::kCpu), -1);  // exhausted
+  EXPECT_TRUE(tags.Exhausted());
+  EXPECT_EQ(tags.ClaimedBy(Device::kCpu), 2u);
+  EXPECT_EQ(tags.ClaimedBy(Device::kGpu), 2u);
+}
+
+TEST(StealTagArrayTest, OwnerTagsReflectClaims) {
+  StealTagArray tags(64 * 2);
+  EXPECT_EQ(tags.OwnerTag(0), -1);
+  tags.Claim(Device::kGpu);
+  EXPECT_EQ(tags.OwnerTag(0), 2);  // gpu tag
+  tags.Claim(Device::kCpu);
+  EXPECT_EQ(tags.OwnerTag(1), 1);  // cpu tag
+}
+
+TEST(StealTagArrayTest, ConcurrentClaimsAreExclusive) {
+  // Two "processors" race over the tag array; every chunk must be claimed by
+  // exactly one of them — the paper's CPU-GPU cooperation invariant.
+  constexpr uint64_t kChunks = 2000;
+  StealTagArray tags(kChunks * StealTagArray::kChunkQueries);
+  std::vector<int64_t> cpu_claims;
+  std::vector<int64_t> gpu_claims;
+  std::thread cpu([&] {
+    int64_t chunk;
+    while ((chunk = tags.Claim(Device::kCpu)) >= 0) cpu_claims.push_back(chunk);
+  });
+  std::thread gpu([&] {
+    int64_t chunk;
+    while ((chunk = tags.Claim(Device::kGpu)) >= 0) gpu_claims.push_back(chunk);
+  });
+  cpu.join();
+  gpu.join();
+  EXPECT_EQ(cpu_claims.size() + gpu_claims.size(), kChunks);
+  std::vector<bool> seen(kChunks, false);
+  for (int64_t chunk : cpu_claims) {
+    ASSERT_FALSE(seen[static_cast<size_t>(chunk)]);
+    seen[static_cast<size_t>(chunk)] = true;
+  }
+  for (int64_t chunk : gpu_claims) {
+    ASSERT_FALSE(seen[static_cast<size_t>(chunk)]);
+    seen[static_cast<size_t>(chunk)] = true;
+  }
+  EXPECT_TRUE(tags.Exhausted());
+}
+
+// ------------------------------------------------------ SolveStealSplit --
+
+TEST(SolveStealSplitTest, NoStealWhenThiefArrivesTooLate) {
+  // Owner finishes 100 chunks x 1 us = 100 us; thief only free at 100 us.
+  const StealSplit split = SolveStealSplit(100, 1.0, 0.0, 100.0, 1.0, 0.0);
+  EXPECT_EQ(split.thief_chunks, 0u);
+  EXPECT_DOUBLE_EQ(split.finish_us, 100.0);
+}
+
+TEST(SolveStealSplitTest, EqualSpeedsSplitRemainderEvenly) {
+  // Thief free immediately, same chunk cost: roughly half the chunks move.
+  const StealSplit split = SolveStealSplit(100, 1.0, 0.0, 0.0, 1.0, 0.0);
+  EXPECT_NEAR(static_cast<double>(split.thief_chunks), 50.0, 1.0);
+  EXPECT_NEAR(split.finish_us, 50.0, 1.5);
+}
+
+TEST(SolveStealSplitTest, SlowThiefTakesLess) {
+  const StealSplit fast = SolveStealSplit(100, 1.0, 0.0, 0.0, 1.0, 0.0);
+  const StealSplit slow = SolveStealSplit(100, 1.0, 0.0, 0.0, 4.0, 0.0);
+  EXPECT_LT(slow.thief_chunks, fast.thief_chunks);
+  EXPECT_GT(slow.finish_us, fast.finish_us);
+  EXPECT_LT(slow.finish_us, 100.0);  // still a win
+}
+
+TEST(SolveStealSplitTest, ResidualWorkStaysWithOwner) {
+  // 20 us of non-stealable work biases the split toward the thief.
+  const StealSplit with_residual =
+      SolveStealSplit(100, 1.0, 20.0, 0.0, 1.0, 0.0);
+  const StealSplit without = SolveStealSplit(100, 1.0, 0.0, 0.0, 1.0, 0.0);
+  EXPECT_GT(with_residual.thief_chunks, without.thief_chunks);
+  EXPECT_GE(with_residual.finish_us, without.finish_us);
+}
+
+TEST(SolveStealSplitTest, SyncOverheadReducesBenefit) {
+  const StealSplit free_sync = SolveStealSplit(100, 1.0, 0.0, 0.0, 1.0, 0.0);
+  const StealSplit costly_sync =
+      SolveStealSplit(100, 1.0, 0.0, 0.0, 1.0, 0.5);
+  EXPECT_LT(costly_sync.thief_chunks, free_sync.thief_chunks);
+  EXPECT_GT(costly_sync.finish_us, free_sync.finish_us);
+}
+
+TEST(SolveStealSplitTest, NeverWorseThanNoSteal) {
+  for (double start : {0.0, 10.0, 50.0, 99.0, 200.0}) {
+    for (double thief_cost : {0.1, 1.0, 10.0, 1000.0}) {
+      const StealSplit split =
+          SolveStealSplit(100, 1.0, 5.0, start, thief_cost, 0.2);
+      EXPECT_LE(split.finish_us, 105.0 + 1e-9)
+          << "start=" << start << " cost=" << thief_cost;
+      EXPECT_LE(split.thief_chunks, 100u);
+    }
+  }
+}
+
+TEST(SolveStealSplitTest, VeryFastThiefTakesAlmostEverything) {
+  const StealSplit split = SolveStealSplit(1000, 1.0, 0.0, 0.0, 0.01, 0.0);
+  EXPECT_GT(split.thief_chunks, 950u);
+  EXPECT_LT(split.finish_us, 60.0);
+}
+
+}  // namespace
+}  // namespace dido

@@ -1,0 +1,43 @@
+// Internal calibration probe: prints Fig-4/5/6-style numbers for the
+// Mega-KV baseline plus DIDO-vs-MegaKV speedups across key workloads.
+#include <cstdio>
+#include "common/logging.h"
+#include "core/system_runner.h"
+using namespace dido;
+
+int main() {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  ExperimentOptions exp;
+  exp.interval_us = 300.0;  // Fig 4 setting
+  std::printf("=== Fig4-style: Mega-KV stage times (interval 300us, G95-S) ===\n");
+  for (const DatasetSpec& d : StandardDatasets()) {
+    WorkloadSpec w = MakeWorkload(d, 95, KeyDistribution::kZipf);
+    SystemMeasurement m = MeasureMegaKvCoupled(w, exp);
+    std::printf("%-6s N=%6lu mops=%6.2f gpu_util=%4.0f%% stages:", d.name.c_str(),
+                (unsigned long)m.batch_size, m.throughput_mops, 100*m.gpu_utilization);
+    for (auto& st : m.representative.stages) {
+      std::printf("  [%s]%.0fus", st.device==Device::kCpu?"cpu":"gpu", st.time_us);
+    }
+    std::printf("\n    tasks:");
+    for (auto& st : m.representative.stages)
+      for (auto& tt : st.task_times)
+        std::printf(" %s=%.1f", std::string(TaskKindName(tt.task)).c_str(), tt.time_us);
+    std::printf("\n");
+  }
+  std::printf("\n=== DIDO vs MegaKV speedups (latency 1000us) ===\n");
+  ExperimentOptions e2;
+  for (const DatasetSpec& d : StandardDatasets()) {
+    for (int pct : {100, 95, 50}) {
+      for (auto dist : {KeyDistribution::kUniform, KeyDistribution::kZipf}) {
+        WorkloadSpec w = MakeWorkload(d, pct, dist);
+        SystemMeasurement mk = MeasureMegaKvCoupled(w, e2);
+        SystemMeasurement di = MeasureDido(w, e2);
+        std::printf("%-12s megakv=%6.2f dido=%6.2f speedup=%4.2f  cfg=%s\n",
+                    w.Name().c_str(), mk.throughput_mops, di.throughput_mops,
+                    di.throughput_mops/mk.throughput_mops,
+                    di.config.ToString().c_str());
+      }
+    }
+  }
+  return 0;
+}
