@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_affinity.dir/bench_ablation_affinity.cpp.o"
+  "CMakeFiles/bench_ablation_affinity.dir/bench_ablation_affinity.cpp.o.d"
+  "bench_ablation_affinity"
+  "bench_ablation_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

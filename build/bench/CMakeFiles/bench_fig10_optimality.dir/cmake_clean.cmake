@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_optimality.dir/bench_fig10_optimality.cpp.o"
+  "CMakeFiles/bench_fig10_optimality.dir/bench_fig10_optimality.cpp.o.d"
+  "bench_fig10_optimality"
+  "bench_fig10_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

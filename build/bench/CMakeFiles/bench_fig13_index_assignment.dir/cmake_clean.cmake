@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_index_assignment.dir/bench_fig13_index_assignment.cpp.o"
+  "CMakeFiles/bench_fig13_index_assignment.dir/bench_fig13_index_assignment.cpp.o.d"
+  "bench_fig13_index_assignment"
+  "bench_fig13_index_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_index_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_work_stealing.dir/bench_fig15_work_stealing.cpp.o"
+  "CMakeFiles/bench_fig15_work_stealing.dir/bench_fig15_work_stealing.cpp.o.d"
+  "bench_fig15_work_stealing"
+  "bench_fig15_work_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_work_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

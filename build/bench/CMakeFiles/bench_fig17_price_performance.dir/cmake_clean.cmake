@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_price_performance.dir/bench_fig17_price_performance.cpp.o"
+  "CMakeFiles/bench_fig17_price_performance.dir/bench_fig17_price_performance.cpp.o.d"
+  "bench_fig17_price_performance"
+  "bench_fig17_price_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_price_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

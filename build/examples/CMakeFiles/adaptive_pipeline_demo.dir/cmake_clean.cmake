@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_pipeline_demo.dir/adaptive_pipeline_demo.cpp.o"
+  "CMakeFiles/adaptive_pipeline_demo.dir/adaptive_pipeline_demo.cpp.o.d"
+  "adaptive_pipeline_demo"
+  "adaptive_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_server.dir/cache_server.cpp.o"
+  "CMakeFiles/cache_server.dir/cache_server.cpp.o.d"
+  "cache_server"
+  "cache_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_server.dir/live_server.cpp.o"
+  "CMakeFiles/live_server.dir/live_server.cpp.o.d"
+  "live_server"
+  "live_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_common.dir/hash.cc.o"
+  "CMakeFiles/dido_common.dir/hash.cc.o.d"
+  "CMakeFiles/dido_common.dir/histogram.cc.o"
+  "CMakeFiles/dido_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dido_common.dir/logging.cc.o"
+  "CMakeFiles/dido_common.dir/logging.cc.o.d"
+  "CMakeFiles/dido_common.dir/random.cc.o"
+  "CMakeFiles/dido_common.dir/random.cc.o.d"
+  "CMakeFiles/dido_common.dir/stats.cc.o"
+  "CMakeFiles/dido_common.dir/stats.cc.o.d"
+  "CMakeFiles/dido_common.dir/status.cc.o"
+  "CMakeFiles/dido_common.dir/status.cc.o.d"
+  "CMakeFiles/dido_common.dir/zipf.cc.o"
+  "CMakeFiles/dido_common.dir/zipf.cc.o.d"
+  "libdido_common.a"
+  "libdido_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_core.dir/dido_store.cc.o"
+  "CMakeFiles/dido_core.dir/dido_store.cc.o.d"
+  "CMakeFiles/dido_core.dir/megakv_store.cc.o"
+  "CMakeFiles/dido_core.dir/megakv_store.cc.o.d"
+  "CMakeFiles/dido_core.dir/system_runner.cc.o"
+  "CMakeFiles/dido_core.dir/system_runner.cc.o.d"
+  "libdido_core.a"
+  "libdido_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

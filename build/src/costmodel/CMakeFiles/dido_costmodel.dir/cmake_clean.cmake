@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_costmodel.dir/config_search.cc.o"
+  "CMakeFiles/dido_costmodel.dir/config_search.cc.o.d"
+  "CMakeFiles/dido_costmodel.dir/cost_model.cc.o"
+  "CMakeFiles/dido_costmodel.dir/cost_model.cc.o.d"
+  "CMakeFiles/dido_costmodel.dir/profiler.cc.o"
+  "CMakeFiles/dido_costmodel.dir/profiler.cc.o.d"
+  "libdido_costmodel.a"
+  "libdido_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_index.dir/cuckoo_hash_table.cc.o"
+  "CMakeFiles/dido_index.dir/cuckoo_hash_table.cc.o.d"
+  "libdido_index.a"
+  "libdido_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_live.dir/live_pipeline.cc.o"
+  "CMakeFiles/dido_live.dir/live_pipeline.cc.o.d"
+  "libdido_live.a"
+  "libdido_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_mem.dir/memory_manager.cc.o"
+  "CMakeFiles/dido_mem.dir/memory_manager.cc.o.d"
+  "CMakeFiles/dido_mem.dir/slab_allocator.cc.o"
+  "CMakeFiles/dido_mem.dir/slab_allocator.cc.o.d"
+  "libdido_mem.a"
+  "libdido_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/codec.cc" "src/net/CMakeFiles/dido_net.dir/codec.cc.o" "gcc" "src/net/CMakeFiles/dido_net.dir/codec.cc.o.d"
+  "/root/repo/src/net/sim_nic.cc" "src/net/CMakeFiles/dido_net.dir/sim_nic.cc.o" "gcc" "src/net/CMakeFiles/dido_net.dir/sim_nic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dido_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dido_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_net.dir/codec.cc.o"
+  "CMakeFiles/dido_net.dir/codec.cc.o.d"
+  "CMakeFiles/dido_net.dir/sim_nic.cc.o"
+  "CMakeFiles/dido_net.dir/sim_nic.cc.o.d"
+  "libdido_net.a"
+  "libdido_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

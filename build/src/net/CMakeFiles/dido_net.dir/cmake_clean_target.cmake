@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdido_net.a"
+)

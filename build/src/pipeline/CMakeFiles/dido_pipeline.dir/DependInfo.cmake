@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/batch.cc" "src/pipeline/CMakeFiles/dido_pipeline.dir/batch.cc.o" "gcc" "src/pipeline/CMakeFiles/dido_pipeline.dir/batch.cc.o.d"
+  "/root/repo/src/pipeline/kv_runtime.cc" "src/pipeline/CMakeFiles/dido_pipeline.dir/kv_runtime.cc.o" "gcc" "src/pipeline/CMakeFiles/dido_pipeline.dir/kv_runtime.cc.o.d"
+  "/root/repo/src/pipeline/pipeline_config.cc" "src/pipeline/CMakeFiles/dido_pipeline.dir/pipeline_config.cc.o" "gcc" "src/pipeline/CMakeFiles/dido_pipeline.dir/pipeline_config.cc.o.d"
+  "/root/repo/src/pipeline/pipeline_executor.cc" "src/pipeline/CMakeFiles/dido_pipeline.dir/pipeline_executor.cc.o" "gcc" "src/pipeline/CMakeFiles/dido_pipeline.dir/pipeline_executor.cc.o.d"
+  "/root/repo/src/pipeline/task.cc" "src/pipeline/CMakeFiles/dido_pipeline.dir/task.cc.o" "gcc" "src/pipeline/CMakeFiles/dido_pipeline.dir/task.cc.o.d"
+  "/root/repo/src/pipeline/task_costs.cc" "src/pipeline/CMakeFiles/dido_pipeline.dir/task_costs.cc.o" "gcc" "src/pipeline/CMakeFiles/dido_pipeline.dir/task_costs.cc.o.d"
+  "/root/repo/src/pipeline/work_stealing.cc" "src/pipeline/CMakeFiles/dido_pipeline.dir/work_stealing.cc.o" "gcc" "src/pipeline/CMakeFiles/dido_pipeline.dir/work_stealing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dido_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dido_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dido_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dido_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dido_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dido_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

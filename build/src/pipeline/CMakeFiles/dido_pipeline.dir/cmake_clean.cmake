@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_pipeline.dir/batch.cc.o"
+  "CMakeFiles/dido_pipeline.dir/batch.cc.o.d"
+  "CMakeFiles/dido_pipeline.dir/kv_runtime.cc.o"
+  "CMakeFiles/dido_pipeline.dir/kv_runtime.cc.o.d"
+  "CMakeFiles/dido_pipeline.dir/pipeline_config.cc.o"
+  "CMakeFiles/dido_pipeline.dir/pipeline_config.cc.o.d"
+  "CMakeFiles/dido_pipeline.dir/pipeline_executor.cc.o"
+  "CMakeFiles/dido_pipeline.dir/pipeline_executor.cc.o.d"
+  "CMakeFiles/dido_pipeline.dir/task.cc.o"
+  "CMakeFiles/dido_pipeline.dir/task.cc.o.d"
+  "CMakeFiles/dido_pipeline.dir/task_costs.cc.o"
+  "CMakeFiles/dido_pipeline.dir/task_costs.cc.o.d"
+  "CMakeFiles/dido_pipeline.dir/work_stealing.cc.o"
+  "CMakeFiles/dido_pipeline.dir/work_stealing.cc.o.d"
+  "libdido_pipeline.a"
+  "libdido_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cc" "src/sim/CMakeFiles/dido_sim.dir/cache_model.cc.o" "gcc" "src/sim/CMakeFiles/dido_sim.dir/cache_model.cc.o.d"
+  "/root/repo/src/sim/device_spec.cc" "src/sim/CMakeFiles/dido_sim.dir/device_spec.cc.o" "gcc" "src/sim/CMakeFiles/dido_sim.dir/device_spec.cc.o.d"
+  "/root/repo/src/sim/interference.cc" "src/sim/CMakeFiles/dido_sim.dir/interference.cc.o" "gcc" "src/sim/CMakeFiles/dido_sim.dir/interference.cc.o.d"
+  "/root/repo/src/sim/timing_model.cc" "src/sim/CMakeFiles/dido_sim.dir/timing_model.cc.o" "gcc" "src/sim/CMakeFiles/dido_sim.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dido_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

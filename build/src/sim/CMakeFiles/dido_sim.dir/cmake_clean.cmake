@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_sim.dir/cache_model.cc.o"
+  "CMakeFiles/dido_sim.dir/cache_model.cc.o.d"
+  "CMakeFiles/dido_sim.dir/device_spec.cc.o"
+  "CMakeFiles/dido_sim.dir/device_spec.cc.o.d"
+  "CMakeFiles/dido_sim.dir/interference.cc.o"
+  "CMakeFiles/dido_sim.dir/interference.cc.o.d"
+  "CMakeFiles/dido_sim.dir/timing_model.cc.o"
+  "CMakeFiles/dido_sim.dir/timing_model.cc.o.d"
+  "libdido_sim.a"
+  "libdido_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dido_workload.dir/trace.cc.o"
+  "CMakeFiles/dido_workload.dir/trace.cc.o.d"
+  "CMakeFiles/dido_workload.dir/workload.cc.o"
+  "CMakeFiles/dido_workload.dir/workload.cc.o.d"
+  "libdido_workload.a"
+  "libdido_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dido_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

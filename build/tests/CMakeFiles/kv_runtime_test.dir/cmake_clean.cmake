@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_runtime_test.dir/kv_runtime_test.cc.o"
+  "CMakeFiles/kv_runtime_test.dir/kv_runtime_test.cc.o.d"
+  "kv_runtime_test"
+  "kv_runtime_test.pdb"
+  "kv_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/live_pipeline_test.cc" "tests/CMakeFiles/live_pipeline_test.dir/live_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/live_pipeline_test.dir/live_pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dido_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/live/CMakeFiles/dido_live.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/dido_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/dido_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dido_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dido_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dido_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dido_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dido_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dido_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_pipeline_test.dir/live_pipeline_test.cc.o"
+  "CMakeFiles/live_pipeline_test.dir/live_pipeline_test.cc.o.d"
+  "live_pipeline_test"
+  "live_pipeline_test.pdb"
+  "live_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
