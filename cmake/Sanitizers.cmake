@@ -1,0 +1,54 @@
+# Wires compiler sanitizers into every target of the build tree.
+#
+# Usage:  set DIDO_SANITIZE to a comma-separated subset of
+#   address | undefined | thread | leak
+# e.g. -DDIDO_SANITIZE=address,undefined or -DDIDO_SANITIZE=thread.
+# ThreadSanitizer cannot be combined with AddressSanitizer or
+# LeakSanitizer (they instrument the same shadow memory).
+#
+# The flags are applied directory-wide (compile + link) so static
+# libraries, tests, benchmarks and examples all agree on the
+# instrumentation ABI.
+
+if(NOT DIDO_SANITIZE)
+  return()
+endif()
+
+string(REPLACE "," ";" _dido_sanitizers "${DIDO_SANITIZE}")
+set(_dido_sanitize_flags "")
+set(_dido_has_thread FALSE)
+set(_dido_has_address FALSE)
+
+foreach(_san IN LISTS _dido_sanitizers)
+  string(STRIP "${_san}" _san)
+  if(_san STREQUAL "address")
+    set(_dido_has_address TRUE)
+    list(APPEND _dido_sanitize_flags -fsanitize=address)
+  elseif(_san STREQUAL "leak")
+    set(_dido_has_address TRUE)  # same constraint vs. thread
+    list(APPEND _dido_sanitize_flags -fsanitize=leak)
+  elseif(_san STREQUAL "undefined")
+    # Abort on the first UB report instead of recovering, so CTest fails.
+    list(APPEND _dido_sanitize_flags -fsanitize=undefined
+         -fno-sanitize-recover=all)
+  elseif(_san STREQUAL "thread")
+    set(_dido_has_thread TRUE)
+    list(APPEND _dido_sanitize_flags -fsanitize=thread)
+  else()
+    message(FATAL_ERROR
+      "DIDO_SANITIZE: unknown sanitizer '${_san}' "
+      "(expected address, undefined, thread, or leak)")
+  endif()
+endforeach()
+
+if(_dido_has_thread AND _dido_has_address)
+  message(FATAL_ERROR
+    "DIDO_SANITIZE: 'thread' cannot be combined with 'address'/'leak'")
+endif()
+
+# Accurate stack traces in reports.
+list(APPEND _dido_sanitize_flags -fno-omit-frame-pointer -g)
+
+message(STATUS "dido: sanitizers enabled: ${DIDO_SANITIZE}")
+add_compile_options(${_dido_sanitize_flags})
+add_link_options(${_dido_sanitize_flags})

@@ -69,14 +69,17 @@ int CuckooHashTable::Search(uint64_t hash, KvObject** candidates,
   const uint64_t b1 = PrimaryBucket(hash);
   const uint64_t b2 = AlternateBucket(b1, signature);
   int found = 0;
-  counters_.searches += 1;
+  // Counter updates throughout use relaxed atomics: they are monotonic
+  // statistics read only through the counters() snapshot, never used to
+  // order or publish index state.
+  counters_.searches.fetch_add(1, std::memory_order_relaxed);
   // Both buckets are always read: a signature hit in the primary bucket may
   // be a 16-bit false positive while the real key lives in the alternate, so
   // early exit would risk false misses.  (The cost model still charges the
   // (sum_i i)/n expected probes of an early-exit probe sequence, as the
   // paper prescribes; search_primary_hits lets tests quantify the gap.)
   for (uint64_t b : {b1, b2}) {
-    counters_.search_buckets_probed += 1;
+    counters_.search_buckets_probed.fetch_add(1, std::memory_order_relaxed);
     for (int s = 0; s < kSlotsPerBucket && found < max_candidates; ++s) {
       const uint64_t entry =
           buckets_[b].slots[s].load(std::memory_order_acquire);
@@ -84,7 +87,9 @@ int CuckooHashTable::Search(uint64_t hash, KvObject** candidates,
         candidates[found++] = EntryObject(entry);
       }
     }
-    if (b == b1 && found > 0) counters_.search_primary_hits += 1;
+    if (b == b1 && found > 0) {
+      counters_.search_primary_hits.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return found;
 }
@@ -138,7 +143,7 @@ Status CuckooHashTable::MakeRoom(uint64_t b1, uint64_t b2, uint64_t* out_bucket,
       buckets_[alt].slots[alt_slot].store(0, std::memory_order_release);
       return -1;
     }
-    counters_.displacements += 1;
+    counters_.displacements.fetch_add(1, std::memory_order_relaxed);
     return victim_slot;
   };
 
@@ -158,11 +163,11 @@ Status CuckooHashTable::Insert(uint64_t hash, KvObject* object,
   const uint64_t b2 = AlternateBucket(b1, signature);
   const uint64_t new_entry = PackEntry(signature, object);
   if (replaced != nullptr) *replaced = nullptr;
-  counters_.inserts += 1;
+  counters_.inserts.fetch_add(1, std::memory_order_relaxed);
 
   // Pass 1: replace a live entry for the same key (SET overwrite semantics).
   for (uint64_t b : {b1, b2}) {
-    counters_.insert_buckets_probed += 1;
+    counters_.insert_buckets_probed.fetch_add(1, std::memory_order_relaxed);
     for (int s = 0; s < kSlotsPerBucket; ++s) {
       uint64_t entry = buckets_[b].slots[s].load(std::memory_order_acquire);
       if (entry == 0 || EntrySignature(entry) != signature) continue;
@@ -196,7 +201,7 @@ Status CuckooHashTable::Insert(uint64_t hash, KvObject* object,
   int slot = 0;
   Status status = MakeRoom(b1, b2, &bucket, &slot);
   if (!status.ok()) {
-    counters_.failed_inserts += 1;
+    counters_.failed_inserts.fetch_add(1, std::memory_order_relaxed);
     return status;
   }
   buckets_[bucket].slots[slot].store(new_entry, std::memory_order_release);
@@ -210,9 +215,9 @@ Status CuckooHashTable::Delete(uint64_t hash, std::string_view key,
   const uint64_t b1 = PrimaryBucket(hash);
   const uint64_t b2 = AlternateBucket(b1, signature);
   if (removed != nullptr) *removed = nullptr;
-  counters_.deletes += 1;
+  counters_.deletes.fetch_add(1, std::memory_order_relaxed);
   for (uint64_t b : {b1, b2}) {
-    counters_.delete_buckets_probed += 1;
+    counters_.delete_buckets_probed.fetch_add(1, std::memory_order_relaxed);
     for (int s = 0; s < kSlotsPerBucket; ++s) {
       uint64_t entry = buckets_[b].slots[s].load(std::memory_order_acquire);
       if (entry == 0 || EntrySignature(entry) != signature) continue;
@@ -245,6 +250,38 @@ Status CuckooHashTable::Remove(uint64_t hash, KvObject* object) {
     }
   }
   return Status::NotFound();
+}
+
+CuckooHashTable::Counters CuckooHashTable::counters() const {
+  Counters snapshot;
+  snapshot.searches = counters_.searches.load(std::memory_order_relaxed);
+  snapshot.search_buckets_probed =
+      counters_.search_buckets_probed.load(std::memory_order_relaxed);
+  snapshot.search_primary_hits =
+      counters_.search_primary_hits.load(std::memory_order_relaxed);
+  snapshot.inserts = counters_.inserts.load(std::memory_order_relaxed);
+  snapshot.insert_buckets_probed =
+      counters_.insert_buckets_probed.load(std::memory_order_relaxed);
+  snapshot.displacements =
+      counters_.displacements.load(std::memory_order_relaxed);
+  snapshot.deletes = counters_.deletes.load(std::memory_order_relaxed);
+  snapshot.delete_buckets_probed =
+      counters_.delete_buckets_probed.load(std::memory_order_relaxed);
+  snapshot.failed_inserts =
+      counters_.failed_inserts.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void CuckooHashTable::ResetCounters() {
+  counters_.searches.store(0, std::memory_order_relaxed);
+  counters_.search_buckets_probed.store(0, std::memory_order_relaxed);
+  counters_.search_primary_hits.store(0, std::memory_order_relaxed);
+  counters_.inserts.store(0, std::memory_order_relaxed);
+  counters_.insert_buckets_probed.store(0, std::memory_order_relaxed);
+  counters_.displacements.store(0, std::memory_order_relaxed);
+  counters_.deletes.store(0, std::memory_order_relaxed);
+  counters_.delete_buckets_probed.store(0, std::memory_order_relaxed);
+  counters_.failed_inserts.store(0, std::memory_order_relaxed);
 }
 
 uint64_t CuckooHashTable::LiveEntries() const {

@@ -42,6 +42,9 @@ class CuckooHashTable {
 
   // Aggregate operation counters; probes are reported in buckets touched so
   // the cost model's (sum_i i)/n expected-probe formula can be validated.
+  // This is the *snapshot* type returned by counters(); internally the
+  // table maintains the counts as relaxed atomics because Search/Insert/
+  // Delete run concurrently from CPU and GPU stage threads.
   struct Counters {
     uint64_t searches = 0;
     uint64_t search_buckets_probed = 0;
@@ -94,8 +97,12 @@ class CuckooHashTable {
   uint64_t LiveEntries() const;
   double LoadFactor() const;
 
-  const Counters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = Counters(); }
+  // Relaxed-atomic snapshot of the operation counters.  Counts taken while
+  // operations are in flight are approximate (each field is individually
+  // consistent, the set is not a linearizable cut) — good enough for the
+  // per-batch probe averaging they feed.
+  Counters counters() const;
+  void ResetCounters();
 
  private:
   using Slot = std::atomic<uint64_t>;
@@ -120,12 +127,27 @@ class CuckooHashTable {
   Status MakeRoom(uint64_t b1, uint64_t b2, uint64_t* out_bucket,
                   int* out_slot);
 
+  // Internal counter representation: one relaxed atomic per statistic, so
+  // concurrent index operations never race on the bookkeeping (TSan-clean)
+  // while staying off the hot paths' critical dependency chains.
+  struct AtomicCounters {
+    std::atomic<uint64_t> searches{0};
+    std::atomic<uint64_t> search_buckets_probed{0};
+    std::atomic<uint64_t> search_primary_hits{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> insert_buckets_probed{0};
+    std::atomic<uint64_t> displacements{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> delete_buckets_probed{0};
+    std::atomic<uint64_t> failed_inserts{0};
+  };
+
   uint64_t num_buckets_;  // power of two
   uint64_t bucket_mask_;
   std::unique_ptr<Bucket[]> buckets_;
   std::atomic<uint64_t> live_entries_{0};
   std::mutex displacement_mu_;  // serializes cuckoo path moves
-  mutable Counters counters_;
+  mutable AtomicCounters counters_;
   Options options_;
 };
 

@@ -43,12 +43,19 @@ LivePipeline::LivePipeline(KvRuntime* runtime, const PipelineConfig& config,
 LivePipeline::~LivePipeline() { Stop(); }
 
 Status LivePipeline::Start(TrafficSource* source) {
+  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
   if (running_.exchange(true)) {
     return Status::AlreadyExists("pipeline already running");
   }
   stop_requested_.store(false);
-  stats_ = Stats();
-  start_time_ = std::chrono::steady_clock::now();
+  {
+    // Collect() may run concurrently with Start from another thread; the
+    // stats reset and epoch must be published under the same lock it reads.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = Stats();
+    responses_.clear();
+    start_time_ = std::chrono::steady_clock::now();
+  }
 
   // One queue in front of every stage after the first.
   queues_.clear();
@@ -64,6 +71,7 @@ Status LivePipeline::Start(TrafficSource* source) {
 }
 
 void LivePipeline::Stop() {
+  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
   if (!running_.load(std::memory_order_acquire)) return;
   stop_requested_.store(true, std::memory_order_release);
   for (std::thread& thread : threads_) {
@@ -122,11 +130,17 @@ void LivePipeline::StageLoop(size_t stage_index) {
   BatchQueue* out =
       stage_index < stages_.size() - 1 ? queues_[stage_index].get() : nullptr;
   const bool is_last = out == nullptr;
-  // Objects unlinked by batch N are freed when batch N+1 retires: earlier
-  // batches' KC may still dereference candidate pointers collected before
-  // the unlink (the live pipeline's equivalent of the simulator's
-  // one-batch grace period).
-  std::vector<KvObject*> grace_frees;
+  // Objects unlinked from the index by batch N must outlive every batch
+  // whose IN.S may have collected them as candidates *before* the unlink.
+  // Any batch in flight concurrently with batch N's IN.I qualifies, and
+  // with bounded queues up to (queues x depth + stages) batches are in
+  // flight at once — so the simulator's one-batch grace period is only
+  // sufficient at queue_depth 1.  Deferred frees are therefore aged
+  // through a window as wide as the in-flight bound before release
+  // (found by the TSan concurrency audit; see DESIGN.md).
+  const size_t grace_window =
+      queues_.size() * options_.queue_depth + stages_.size();
+  std::deque<std::vector<KvObject*>> grace_frees;
 
   for (;;) {
     std::unique_ptr<QueryBatch> batch = in.Pop();
@@ -149,8 +163,13 @@ void LivePipeline::StageLoop(size_t stage_index) {
     std::vector<KvObject*> unlinked = std::move(batch->deferred_frees);
     batch->deferred_frees.clear();
     runtime_->RetireBatch(batch.get());
-    for (KvObject* object : grace_frees) runtime_->memory().FreeObject(object);
-    grace_frees = std::move(unlinked);
+    grace_frees.push_back(std::move(unlinked));
+    while (grace_frees.size() > grace_window) {
+      for (KvObject* object : grace_frees.front()) {
+        runtime_->memory().FreeObject(object);
+      }
+      grace_frees.pop_front();
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.batches += 1;
     stats_.queries += batch->measurements.num_queries;
@@ -164,7 +183,10 @@ void LivePipeline::StageLoop(size_t stage_index) {
     }
   }
   if (out != nullptr) out->Close();
-  for (KvObject* object : grace_frees) runtime_->memory().FreeObject(object);
+  // Drain: every upstream batch has retired, so the window can be released.
+  for (const std::vector<KvObject*>& generation : grace_frees) {
+    for (KvObject* object : generation) runtime_->memory().FreeObject(object);
+  }
 }
 
 LivePipeline::Stats LivePipeline::Collect() const {

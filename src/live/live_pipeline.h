@@ -2,6 +2,7 @@
 #define DIDO_LIVE_LIVE_PIPELINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -58,10 +59,12 @@ class LivePipeline {
 
   // Spawns the stage threads and starts pulling queries from `source`
   // (which must outlive the pipeline; it is accessed only from the ingress
-  // thread).  Fails if already running.
+  // thread).  Fails if already running.  Thread-safe against concurrent
+  // Start/Stop (serialized on an internal lifecycle mutex).
   Status Start(TrafficSource* source);
 
   // Stops ingesting, drains in-flight batches, joins all threads.
+  // Idempotent and safe to call from multiple threads.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -102,12 +105,17 @@ class LivePipeline {
   Options options_;
   std::vector<StageSpec> stages_;
 
+  // Serializes Start/Stop so two threads cannot join the same std::thread
+  // objects or tear queues_ down concurrently.
+  std::mutex lifecycle_mu_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::vector<std::unique_ptr<BatchQueue>> queues_;  // queues_[i] feeds stage i+1
   std::vector<std::thread> threads_;
-  uint64_t sequence_ = 0;
+  uint64_t sequence_ = 0;  // ingress thread only
 
+  // Guards stats_, responses_ and start_time_ (written on Start, by the
+  // retiring stage thread, and read by Collect from any thread).
   mutable std::mutex stats_mu_;
   Stats stats_;
   std::vector<Frame> responses_;

@@ -57,12 +57,19 @@ struct KvObject {
   // Records one access in the current sampling epoch: resets the counter to
   // 1 when the object was last touched in an older epoch, otherwise
   // increments it.  Returns the post-update count.
+  //
+  // relaxed throughout: the counter is a sampling statistic (paper
+  // Section IV-B), and the epoch check/reset pair is deliberately not
+  // atomic — two threads racing across an epoch boundary can lose a
+  // handful of counts, which the Zipf estimator absorbs.  No other state
+  // is published through these fields.
   uint32_t RecordAccess(uint64_t epoch) {
     if (sample_epoch.load(std::memory_order_relaxed) != epoch) {
       sample_epoch.store(epoch, std::memory_order_relaxed);
       freq_counter.store(1, std::memory_order_relaxed);
       return 1;
     }
+    // relaxed: sampling statistic (see above).
     return freq_counter.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 };

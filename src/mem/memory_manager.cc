@@ -9,19 +9,20 @@ Result<KvObject*> MemoryManager::AllocateObject(
   Result<KvObject*> result =
       allocator_.Allocate(key, value, version, evictions);
   if (!result.ok()) {
-    counters_.failed_allocations += 1;
+    failed_allocations_.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
-  counters_.allocations += 1;
+  allocations_.fetch_add(1, std::memory_order_relaxed);
   if (evictions != nullptr) {
-    counters_.evictions += evictions->size() - evicted_before;
+    evictions_.fetch_add(evictions->size() - evicted_before,
+                         std::memory_order_relaxed);
   }
   return result;
 }
 
 void MemoryManager::FreeObject(KvObject* object) {
   allocator_.Free(object);
-  counters_.frees += 1;
+  frees_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void MemoryManager::TouchObject(KvObject* object) { allocator_.Touch(object); }

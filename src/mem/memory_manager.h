@@ -1,6 +1,7 @@
 #ifndef DIDO_MEM_MEMORY_MANAGER_H_
 #define DIDO_MEM_MEMORY_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -18,6 +19,9 @@ namespace dido {
 // — the 95:5:5 Search/Insert/Delete mix behind Figure 6.
 class MemoryManager {
  public:
+  // Snapshot type returned by counters().  In the live pipeline the MM
+  // stage allocates while the retire stage frees concurrently, so the
+  // internal counts are relaxed atomics.
   struct Counters {
     uint64_t allocations = 0;
     uint64_t evictions = 0;
@@ -41,12 +45,33 @@ class MemoryManager {
   void TouchObject(KvObject* object);
 
   SlabAllocator& allocator() { return allocator_; }
-  const Counters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = Counters(); }
+
+  // Relaxed-atomic snapshot (individually consistent fields, not a
+  // linearizable cut across them).
+  Counters counters() const {
+    Counters snapshot;
+    snapshot.allocations = allocations_.load(std::memory_order_relaxed);
+    snapshot.evictions = evictions_.load(std::memory_order_relaxed);
+    snapshot.frees = frees_.load(std::memory_order_relaxed);
+    snapshot.failed_allocations =
+        failed_allocations_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+  void ResetCounters() {
+    allocations_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    frees_.store(0, std::memory_order_relaxed);
+    failed_allocations_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   SlabAllocator allocator_;
-  Counters counters_;
+  // Monotonic statistics only — never used to order allocator state, so
+  // relaxed ordering is sufficient.
+  std::atomic<uint64_t> allocations_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> frees_{0};
+  std::atomic<uint64_t> failed_allocations_{0};
 };
 
 }  // namespace dido

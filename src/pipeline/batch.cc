@@ -9,6 +9,7 @@ void QueryBatch::Clear() {
   deferred_frees.clear();
   staging.clear();
   responses.clear();
+  index_counters_at_pp = CuckooHashTable::Counters();
   measurements = BatchMeasurements();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "index/cuckoo_hash_table.h"
 #include "mem/kv_object.h"
 #include "mem/slab_allocator.h"
 #include "net/codec.h"
@@ -64,10 +65,13 @@ struct BatchMeasurements {
   double delete_probes = 0.0;
 
   double get_ratio() const {
-    return num_queries > 0 ? static_cast<double>(gets) / num_queries : 0.0;
+    return num_queries > 0
+               ? static_cast<double>(gets) / static_cast<double>(num_queries)
+               : 0.0;
   }
   double hit_ratio() const {
-    return gets > 0 ? static_cast<double>(hits) / gets : 1.0;
+    return gets > 0 ? static_cast<double>(hits) / static_cast<double>(gets)
+                    : 1.0;
   }
 };
 
@@ -90,6 +94,14 @@ struct QueryBatch {
 
   std::vector<uint8_t> staging;   // RD output buffer (sequentialized values)
   std::vector<Frame> responses;   // WR output frames
+
+  // Cuckoo counter snapshot taken at PP time, consumed by RetireBatch to
+  // compute this batch's probe averages.  Carried in the batch (not in
+  // KvRuntime) because several batches are in flight at once in the live
+  // pipeline: a runtime-global snapshot would be overwritten by the ingress
+  // thread while the retire thread still reads it — both a data race and a
+  // cross-batch accounting error.
+  CuckooHashTable::Counters index_counters_at_pp;
 
   BatchMeasurements measurements;
 

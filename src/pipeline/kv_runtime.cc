@@ -47,7 +47,7 @@ uint64_t KvRuntime::Preload(const DatasetSpec& dataset,
 }
 
 Status KvRuntime::RunPacketProcessing(QueryBatch* batch) {
-  counter_snapshot_ = index_->counters();
+  batch->index_counters_at_pp = index_->counters();
   BatchMeasurements& m = batch->measurements;
   for (const Frame& frame : batch->frames) {
     size_t offset = 0;
@@ -82,7 +82,9 @@ void KvRuntime::RunMemoryManagement(QueryBatch* batch, size_t begin,
     QueryRecord& record = batch->queries[i];
     if (record.op != QueryOp::kSet) continue;
     Result<KvObject*> object = memory_->AllocateObject(
-        record.key, record.value, ++version_counter_, &batch->evictions);
+        record.key, record.value,
+        version_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
+        &batch->evictions);
     if (!object.ok()) {
       record.status = ResponseStatus::kError;
       continue;
@@ -172,7 +174,7 @@ void KvRuntime::RunKeyComparison(QueryBatch* batch, size_t begin, size_t end) {
     }
     if (record.object != nullptr) {
       record.status = ResponseStatus::kOk;
-      const uint32_t freq = record.object->RecordAccess(sampling_epoch_);
+      const uint32_t freq = record.object->RecordAccess(sampling_epoch());
       if ((m.hits & (kFrequencySampleStride - 1)) == 0) {
         m.sampled_frequencies.push_back(freq);
       }
@@ -266,35 +268,40 @@ void KvRuntime::RetireBatch(QueryBatch* batch) {
   batch->deferred_frees.clear();
   batch->measurements.evictions = batch->evictions.size();
 
-  // Per-batch probe averages from the cuckoo counter deltas.
-  const CuckooHashTable::Counters& now = index_->counters();
+  // Per-batch probe averages from the cuckoo counter deltas, against the
+  // snapshot PP stored in the batch.  With several batches in flight the
+  // deltas include concurrent batches' operations — an approximation the
+  // cost model tolerates (it consumes running averages).
+  const CuckooHashTable::Counters now = index_->counters();
+  const CuckooHashTable::Counters& then = batch->index_counters_at_pp;
   BatchMeasurements& m = batch->measurements;
-  const uint64_t searches = now.searches - counter_snapshot_.searches;
-  const uint64_t inserts = now.inserts - counter_snapshot_.inserts;
-  const uint64_t deletes = now.deletes - counter_snapshot_.deletes;
+  const uint64_t searches = now.searches - then.searches;
+  const uint64_t inserts = now.inserts - then.inserts;
+  const uint64_t deletes = now.deletes - then.deletes;
   m.search_probes =
       searches > 0 ? static_cast<double>(now.search_buckets_probed -
-                                         counter_snapshot_.search_buckets_probed) /
-                         searches
+                                         then.search_buckets_probed) /
+                         static_cast<double>(searches)
                    : 0.0;
   m.insert_probes =
       inserts > 0 ? static_cast<double>(now.insert_buckets_probed -
-                                        counter_snapshot_.insert_buckets_probed +
+                                        then.insert_buckets_probed +
                                         now.displacements -
-                                        counter_snapshot_.displacements) /
-                        inserts
+                                        then.displacements) /
+                        static_cast<double>(inserts)
                   : 0.0;
   m.delete_probes =
       deletes > 0 ? static_cast<double>(now.delete_buckets_probed -
-                                        counter_snapshot_.delete_buckets_probed) /
-                        deletes
+                                        then.delete_buckets_probed) /
+                        static_cast<double>(deletes)
                   : 0.0;
 }
 
 Status KvRuntime::Put(std::string_view key, std::string_view value) {
   std::vector<SlabAllocator::EvictedObject> evictions;
-  Result<KvObject*> object =
-      memory_->AllocateObject(key, value, ++version_counter_, &evictions);
+  Result<KvObject*> object = memory_->AllocateObject(
+      key, value, version_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
+      &evictions);
   if (!object.ok()) return object.status();
   for (const SlabAllocator::EvictedObject& victim : evictions) {
     index_->Remove(CuckooHashTable::HashKey(victim.key), victim.stale_ptr)
@@ -315,7 +322,7 @@ Result<std::string> KvRuntime::GetValue(std::string_view key) {
   KvObject* object =
       index_->SearchVerified(CuckooHashTable::HashKey(key), key);
   if (object == nullptr) return Status::NotFound();
-  object->RecordAccess(sampling_epoch_);
+  object->RecordAccess(sampling_epoch());
   memory_->TouchObject(object);
   return std::string(object->Value());
 }

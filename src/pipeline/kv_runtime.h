@@ -1,6 +1,7 @@
 #ifndef DIDO_PIPELINE_KV_RUNTIME_H_
 #define DIDO_PIPELINE_KV_RUNTIME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -41,8 +42,15 @@ class KvRuntime {
   MemoryManager& memory() { return *memory_; }
 
   // Current profiler sampling epoch (bumped by the workload profiler).
-  uint64_t sampling_epoch() const { return sampling_epoch_; }
-  void set_sampling_epoch(uint64_t epoch) { sampling_epoch_ = epoch; }
+  // Relaxed: the epoch is a monotone sampling label read by KC stage
+  // threads; a one-batch-stale read only shifts which epoch an access is
+  // attributed to, it cannot corrupt state.
+  uint64_t sampling_epoch() const {
+    return sampling_epoch_.load(std::memory_order_relaxed);
+  }
+  void set_sampling_epoch(uint64_t epoch) {
+    sampling_epoch_.store(epoch, std::memory_order_relaxed);
+  }
 
   // Loads `target_objects` objects of the dataset's sizes (keys
   // 0..target-1), stopping early if memory fills up.  Returns the number
@@ -96,11 +104,11 @@ class KvRuntime {
  private:
   std::unique_ptr<CuckooHashTable> index_;
   std::unique_ptr<MemoryManager> memory_;
-  uint64_t sampling_epoch_ = 1;
-  uint32_t version_counter_ = 0;
-
-  // Cuckoo counter snapshots for per-batch probe averaging.
-  CuckooHashTable::Counters counter_snapshot_;
+  std::atomic<uint64_t> sampling_epoch_{1};
+  // Relaxed fetch_add: versions only need to be unique, not ordered with
+  // respect to any other memory — the MM stage and the direct Put API may
+  // allocate concurrently.
+  std::atomic<uint32_t> version_counter_{0};
 };
 
 }  // namespace dido

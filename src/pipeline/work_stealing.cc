@@ -12,6 +12,8 @@ StealTagArray::StealTagArray(uint64_t num_queries)
       tags_(std::make_unique<std::atomic<uint8_t>[]>(
           std::max<uint64_t>(num_chunks_, 1))) {
   for (uint64_t i = 0; i < num_chunks_; ++i) {
+    // relaxed: single-threaded construction; the array is published to the
+    // claiming threads by whatever mechanism hands out the StealTagArray.
     tags_[i].store(kFree, std::memory_order_relaxed);
   }
 }
@@ -20,12 +22,23 @@ int64_t StealTagArray::Claim(Device device) {
   const uint8_t tag = device == Device::kCpu ? 1 : 2;
   // Start from the shared cursor; on CAS failure the chunk belongs to the
   // other device and we move on.
+  //
+  // relaxed cursor load: the cursor is a scan-start hint, not a claim.  A
+  // stale read only lengthens the scan; exclusivity comes from the per-tag
+  // CAS below.  Correctness invariant: cursor_ is only advanced to i+1
+  // after chunk i was claimed, and a claimer scans every chunk from its
+  // start point upward, so all chunks below any stored cursor value are
+  // already claimed — a chunk can never be skipped.
   for (uint64_t i = cursor_.load(std::memory_order_relaxed);
        i < num_chunks_; ++i) {
     uint8_t expected = kFree;
     if (tags_[i].compare_exchange_strong(expected, tag,
                                          std::memory_order_acq_rel)) {
+      // relaxed cursor store: hint only (see above); may go backwards when
+      // two claimers race, which is benign.
       cursor_.store(i + 1, std::memory_order_relaxed);
+      // relaxed counters: monotonic statistics, read via ClaimedBy /
+      // Exhausted which tolerate momentarily stale values.
       (device == Device::kCpu ? claimed_cpu_ : claimed_gpu_)
           .fetch_add(1, std::memory_order_relaxed);
       return static_cast<int64_t>(i);
@@ -41,11 +54,15 @@ int StealTagArray::OwnerTag(uint64_t chunk) const {
 }
 
 uint64_t StealTagArray::ClaimedBy(Device device) const {
+  // relaxed: statistic read; exactness is only guaranteed once both
+  // claimers have stopped (e.g. after joining the stealing threads).
   return (device == Device::kCpu ? claimed_cpu_ : claimed_gpu_)
       .load(std::memory_order_relaxed);
 }
 
 bool StealTagArray::Exhausted() const {
+  // relaxed: the sum is monotone non-decreasing, so a stale read can only
+  // under-report exhaustion — callers retry via Claim, which is exact.
   return claimed_cpu_.load(std::memory_order_relaxed) +
              claimed_gpu_.load(std::memory_order_relaxed) >=
          num_chunks_;

@@ -1,0 +1,302 @@
+// Multi-threaded stress tests for the lock-free / shared-state components,
+// written to run under ThreadSanitizer (ctest label "stress"; see the tsan
+// CMake preset).  Sizes are kept modest so the suite stays fast under the
+// ~10x TSan slowdown while still forcing real interleavings.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/cuckoo_hash_table.h"
+#include "live/live_pipeline.h"
+#include "mem/slab_allocator.h"
+#include "pipeline/work_stealing.h"
+
+namespace dido {
+namespace {
+
+// ------------------------------------------------------- StealTagArray --
+
+// All chunks are claimed exactly once even when more claimers than the
+// paper's two processors contend on the tag array.
+TEST(StealTagArrayStressTest, AllChunksClaimedExactlyOnceUnderContention) {
+  constexpr uint64_t kChunks = 4096;
+  constexpr int kClaimersPerDevice = 2;
+  for (int round = 0; round < 3; ++round) {
+    StealTagArray tags(kChunks * StealTagArray::kChunkQueries);
+    std::vector<std::vector<int64_t>> claims(2 * kClaimersPerDevice);
+    std::vector<std::thread> threads;
+    std::atomic<bool> go{false};
+    for (int t = 0; t < 2 * kClaimersPerDevice; ++t) {
+      const Device device = t % 2 == 0 ? Device::kCpu : Device::kGpu;
+      threads.emplace_back([&, t, device] {
+        while (!go.load()) {
+        }
+        int64_t chunk;
+        while ((chunk = tags.Claim(device)) >= 0) {
+          claims[static_cast<size_t>(t)].push_back(chunk);
+        }
+      });
+    }
+    go.store(true);
+    for (std::thread& thread : threads) thread.join();
+
+    std::vector<int> owners(kChunks, 0);
+    uint64_t total = 0;
+    for (const std::vector<int64_t>& list : claims) {
+      total += list.size();
+      for (int64_t chunk : list) {
+        owners[static_cast<size_t>(chunk)] += 1;
+      }
+    }
+    EXPECT_EQ(total, kChunks);
+    for (uint64_t c = 0; c < kChunks; ++c) {
+      ASSERT_EQ(owners[c], 1) << "chunk " << c << " claimed " << owners[c]
+                              << " times in round " << round;
+    }
+    EXPECT_TRUE(tags.Exhausted());
+    EXPECT_EQ(tags.ClaimedBy(Device::kCpu) + tags.ClaimedBy(Device::kGpu),
+              kChunks);
+  }
+}
+
+// --------------------------------------------------------- CuckooHash --
+
+// Concurrent Search / Insert / Delete on a shared table.  A stable key set
+// stays resident for readers to verify; a writer churns its own disjoint
+// key set.  Objects are preallocated and never reclaimed during the run,
+// so candidate pointers collected by readers always stay dereferenceable
+// (reclamation safety is the pipeline's job, exercised below).
+TEST(CuckooHashTableStressTest, ConcurrentSearchInsertDelete) {
+  CuckooHashTable::Options options;
+  options.num_buckets = 1 << 12;
+  CuckooHashTable table(options);
+
+  struct Entry {
+    std::string key;
+    uint64_t hash = 0;
+    KvObject* object = nullptr;
+    std::vector<uint8_t> storage;
+  };
+  auto make_entry = [](const std::string& key) {
+    Entry entry;
+    entry.key = key;
+    entry.hash = CuckooHashTable::HashKey(key);
+    entry.storage.resize(KvObject::FootprintFor(
+        static_cast<uint32_t>(key.size()), 8));
+    entry.object = new (entry.storage.data()) KvObject();
+    entry.object->key_size = static_cast<uint32_t>(key.size());
+    entry.object->value_size = 8;
+    std::memcpy(entry.object->KeyData(), key.data(), key.size());
+    return entry;
+  };
+
+  constexpr int kStableKeys = 2000;
+  constexpr int kChurnKeys = 500;
+  std::vector<Entry> stable;
+  std::vector<Entry> churn;
+  for (int i = 0; i < kStableKeys; ++i) {
+    stable.push_back(make_entry("stable-" + std::to_string(i)));
+    ASSERT_TRUE(table.Insert(stable.back().hash, stable.back().object, nullptr)
+                    .ok());
+  }
+  for (int i = 0; i < kChurnKeys; ++i) {
+    churn.push_back(make_entry("churn-" + std::to_string(i)));
+  }
+
+  // Readers run a fixed lookup count; the writer keeps churning (at least
+  // kMinRounds) until both readers finish, so the phases genuinely overlap
+  // even on a single core.
+  constexpr int kReaders = 2;
+  constexpr uint64_t kLookupsPerReader = 20000;
+  constexpr int kMinRounds = 10;
+  std::atomic<int> readers_done{0};
+  std::atomic<uint64_t> churn_rounds{0};
+  std::thread writer([&] {
+    while (readers_done.load() < kReaders ||
+           churn_rounds.load() < kMinRounds) {
+      for (Entry& entry : churn) {
+        ASSERT_TRUE(table.Insert(entry.hash, entry.object, nullptr).ok());
+      }
+      for (Entry& entry : churn) {
+        KvObject* removed = nullptr;
+        ASSERT_TRUE(table.Delete(entry.hash, entry.key, &removed).ok());
+        ASSERT_EQ(removed, entry.object);
+      }
+      churn_rounds.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t i = static_cast<uint64_t>(r);
+      for (uint64_t n = 0; n < kLookupsPerReader; ++n) {
+        const Entry& entry = stable[i % stable.size()];
+        KvObject* found = table.SearchVerified(entry.hash, entry.key);
+        ASSERT_EQ(found, entry.object) << "stable key lost: " << entry.key;
+        i += 7;
+      }
+      readers_done.fetch_add(1);
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(table.LiveEntries(), static_cast<uint64_t>(kStableKeys));
+  const CuckooHashTable::Counters counters = table.counters();
+  const uint64_t rounds = churn_rounds.load();
+  EXPECT_GE(rounds, static_cast<uint64_t>(kMinRounds));
+  EXPECT_EQ(counters.inserts,
+            static_cast<uint64_t>(kStableKeys) + rounds * kChurnKeys);
+  EXPECT_EQ(counters.deletes, rounds * kChurnKeys);
+}
+
+// ------------------------------------------------------ SlabAllocator --
+
+// Concurrent Allocate / Touch / Free from several threads on disjoint key
+// ranges; the arena is sized so the run never evicts (eviction reuses the
+// victim's chunk immediately and therefore requires quiescent readers —
+// see DESIGN.md "Reclamation").
+TEST(SlabAllocatorStressTest, ConcurrentAllocateTouchFree) {
+  SlabAllocator::Options options;
+  options.arena_bytes = 32u << 20;
+  SlabAllocator allocator(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kObjectsPerThread = 400;
+  constexpr int kRounds = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<KvObject*> mine;
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kObjectsPerThread; ++i) {
+          const std::string key =
+              "t" + std::to_string(t) + "-" + std::to_string(i);
+          Result<KvObject*> object =
+              allocator.Allocate(key, "value-payload", 1, nullptr);
+          ASSERT_TRUE(object.ok());
+          mine.push_back(*object);
+        }
+        for (KvObject* object : mine) allocator.Touch(object);
+        for (KvObject* object : mine) allocator.Free(object);
+        mine.clear();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const SlabAllocator::Stats stats = allocator.GetStats();
+  EXPECT_EQ(stats.live_objects, 0u);
+  EXPECT_EQ(stats.total_evictions, 0u);
+}
+
+// ------------------------------------------------------- LivePipeline --
+
+struct StressFixture {
+  std::unique_ptr<KvRuntime> runtime;
+  std::unique_ptr<WorkloadGenerator> generator;
+  std::unique_ptr<TrafficSource> source;
+  uint64_t objects = 0;
+
+  explicit StressFixture(int get_ratio_percent) {
+    KvRuntime::Options rt;
+    rt.slab.arena_bytes = 16 << 20;
+    rt.index.num_buckets = 1 << 14;
+    runtime = std::make_unique<KvRuntime>(rt);
+    const WorkloadSpec spec =
+        MakeWorkload(DatasetK16(), get_ratio_percent, KeyDistribution::kZipf);
+    objects = runtime->Preload(spec.dataset, 15000);
+    generator = std::make_unique<WorkloadGenerator>(spec, objects, 5);
+    source = std::make_unique<TrafficSource>(generator.get());
+  }
+};
+
+// Repeated start/run/drain/stop cycles with a concurrent Collect() poller:
+// exercises the lifecycle lock, the stats mutex, and queue close/drain.
+TEST(LivePipelineStressTest, StartStopDrainCycles) {
+  StressFixture f(90);
+  LivePipeline::Options options;
+  options.batch_queries = 1024;
+  options.queue_depth = 2;
+  LivePipeline pipeline(f.runtime.get(), PipelineConfig::MegaKv(), options);
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load()) {
+      (void)pipeline.Collect();
+      (void)pipeline.running();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  uint64_t total_batches = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ASSERT_TRUE(pipeline.Start(f.source.get()).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    pipeline.Stop();
+    const LivePipeline::Stats stats = pipeline.Collect();
+    EXPECT_GT(stats.batches, 0u) << "cycle " << cycle;
+    EXPECT_EQ(stats.hits + stats.misses + stats.sets, stats.queries);
+    total_batches += stats.batches;
+  }
+  done.store(true);
+  poller.join();
+  EXPECT_GT(total_batches, 4u);
+  // The store must be intact after all cycles: every SET replaced in place.
+  EXPECT_EQ(f.runtime->live_objects(), f.objects);
+}
+
+// Concurrent Stop() from two threads plus destruction through Stop: the
+// lifecycle mutex must serialize the joins.
+TEST(LivePipelineStressTest, ConcurrentStopIsSafe) {
+  StressFixture f(95);
+  LivePipeline::Options options;
+  options.batch_queries = 1024;
+  LivePipeline pipeline(f.runtime.get(), PipelineConfig::MegaKv(), options);
+  ASSERT_TRUE(pipeline.Start(f.source.get()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread a([&] { pipeline.Stop(); });
+  std::thread b([&] { pipeline.Stop(); });
+  a.join();
+  b.join();
+  EXPECT_FALSE(pipeline.running());
+  EXPECT_GT(pipeline.Collect().queries, 0u);
+}
+
+// SET-heavy traffic through a configuration that places IN.S in an earlier
+// stage than IN.I with deep queues — the shape where a batch collects
+// index candidates that a *later* batch's insert then unlinks.  This is
+// the regression test for the reclamation grace window: with the old
+// one-batch grace, KC could read objects whose slab chunk had already
+// been reused (a use-after-free TSan reports as a data race with the
+// allocator's memcpy).
+TEST(LivePipelineStressTest, DeepQueueSetHeavySplitIndexStages) {
+  StressFixture f(50);  // 50% GETs, 50% SETs: heavy in-place replacement
+  PipelineConfig config;
+  config.gpu_begin = 4;  // [RV,PP,MM,IN.S]cpu | [KC,RD]gpu | [WR,SD]cpu
+  config.gpu_end = 6;
+  config.insert_device = Device::kGpu;  // IN.I one stage after IN.S
+  config.delete_device = Device::kGpu;
+  LivePipeline::Options options;
+  options.batch_queries = 512;
+  options.queue_depth = 4;
+  LivePipeline pipeline(f.runtime.get(), config, options);
+  ASSERT_TRUE(pipeline.Start(f.source.get()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  pipeline.Stop();
+
+  const LivePipeline::Stats stats = pipeline.Collect();
+  EXPECT_GT(stats.sets, 500u);
+  EXPECT_EQ(stats.misses, 0u);  // replacement is atomic in place
+  EXPECT_EQ(f.runtime->live_objects(), f.objects);
+  const MemoryManager::Counters counters = f.runtime->memory().counters();
+  EXPECT_EQ(counters.allocations - counters.frees, f.objects);
+}
+
+}  // namespace
+}  // namespace dido

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Custom lint: no unjustified std::memory_order_relaxed on hot paths.
+
+DIDO's correctness rests on the CPU/GPU work-stealing tag array and the
+inter-stage batch queues; a silently-downgraded memory order there is
+exactly the class of bug a reviewer cannot see locally.  This check
+forbids `memory_order_relaxed` in the audited hot-path files unless the
+use is justified by a nearby comment containing the word "relaxed"
+(same line, or a comment within the preceding JUSTIFICATION_WINDOW
+lines) — forcing every downgrade to carry its reasoning in the source.
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Hot-path files under audit (repo-relative).  Extend this list when new
+# lock-free components appear.
+AUDITED_FILES = [
+    "src/pipeline/work_stealing.h",
+    "src/pipeline/work_stealing.cc",
+    "src/live/live_pipeline.h",
+    "src/live/live_pipeline.cc",
+    "src/mem/kv_object.h",
+]
+
+JUSTIFICATION_WINDOW = 10  # lines of lookback for a justifying comment
+
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+COMMENT_RE = re.compile(r"//(.*)$")
+
+
+def line_has_justification(line: str) -> bool:
+    match = COMMENT_RE.search(line)
+    return match is not None and "relaxed" in match.group(1).lower()
+
+
+def check_file(path: Path) -> list:
+    violations = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        if not RELAXED_RE.search(line):
+            continue
+        # A justifying comment may sit on the offending line itself...
+        if line_has_justification(line):
+            continue
+        # ...or in the lookback window above it.
+        window = lines[max(0, i - JUSTIFICATION_WINDOW) : i]
+        if any(line_has_justification(prev) for prev in window):
+            continue
+        violations.append((i + 1, line.strip()))
+    return violations
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    if not (root / "src").is_dir():
+        print(f"check_memory_order: '{root}' is not the repo root", file=sys.stderr)
+        return 2
+    failed = False
+    for rel in AUDITED_FILES:
+        path = root / rel
+        if not path.exists():
+            print(f"check_memory_order: audited file missing: {rel}", file=sys.stderr)
+            failed = True
+            continue
+        for line_no, text in check_file(path):
+            failed = True
+            print(
+                f"{rel}:{line_no}: memory_order_relaxed without a "
+                f"justifying 'relaxed' comment within "
+                f"{JUSTIFICATION_WINDOW} lines:\n    {text}"
+            )
+    if failed:
+        print(
+            "\ncheck_memory_order: every relaxed atomic on a hot path must "
+            "explain why the downgrade is safe (search DESIGN.md for "
+            "'memory order')."
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
