@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "sync/epoch.h"
 
 namespace dido {
 
@@ -79,10 +80,14 @@ void LivePipeline::Stop() {
   }
   threads_.clear();
   queues_.clear();
+  // Every batch has retired and every pin is released; drain the epoch
+  // quarantine so post-run accounting (live vs. freed) balances.
+  runtime_->epoch().ReclaimAll();
   running_.store(false, std::memory_order_release);
 }
 
 void LivePipeline::IngressLoop(TrafficSource* source) {
+  ScopedEpochParticipant epoch_participant(runtime_->epoch());
   while (!stop_requested_.load(std::memory_order_acquire)) {
     auto batch = std::make_unique<QueryBatch>();
     batch->sequence = ++sequence_;
@@ -126,21 +131,15 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
 }
 
 void LivePipeline::StageLoop(size_t stage_index) {
+  // Stage threads are epoch participants: everything the pipeline unlinks
+  // (evicted, replaced, deleted objects) flows through EpochManager::
+  // Retire, and each batch's candidate pointers are protected by the
+  // shared pin the batch itself carries from IN.S to RetireBatch.
+  ScopedEpochParticipant epoch_participant(runtime_->epoch());
   BatchQueue& in = *queues_[stage_index - 1];
   BatchQueue* out =
       stage_index < stages_.size() - 1 ? queues_[stage_index].get() : nullptr;
   const bool is_last = out == nullptr;
-  // Objects unlinked from the index by batch N must outlive every batch
-  // whose IN.S may have collected them as candidates *before* the unlink.
-  // Any batch in flight concurrently with batch N's IN.I qualifies, and
-  // with bounded queues up to (queues x depth + stages) batches are in
-  // flight at once — so the simulator's one-batch grace period is only
-  // sufficient at queue_depth 1.  Deferred frees are therefore aged
-  // through a window as wide as the in-flight bound before release
-  // (found by the TSan concurrency audit; see DESIGN.md).
-  const size_t grace_window =
-      queues_.size() * options_.queue_depth + stages_.size();
-  std::deque<std::vector<KvObject*>> grace_frees;
 
   for (;;) {
     std::unique_ptr<QueryBatch> batch = in.Pop();
@@ -159,17 +158,9 @@ void LivePipeline::StageLoop(size_t stage_index) {
       continue;
     }
 
-    // SD + retire (with the extended reclamation grace above).
-    std::vector<KvObject*> unlinked = std::move(batch->deferred_frees);
-    batch->deferred_frees.clear();
+    // SD + retire: releases the batch's epoch pin and lets the epoch
+    // manager advance.
     runtime_->RetireBatch(batch.get());
-    grace_frees.push_back(std::move(unlinked));
-    while (grace_frees.size() > grace_window) {
-      for (KvObject* object : grace_frees.front()) {
-        runtime_->memory().FreeObject(object);
-      }
-      grace_frees.pop_front();
-    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.batches += 1;
     stats_.queries += batch->measurements.num_queries;
@@ -183,10 +174,6 @@ void LivePipeline::StageLoop(size_t stage_index) {
     }
   }
   if (out != nullptr) out->Close();
-  // Drain: every upstream batch has retired, so the window can be released.
-  for (const std::vector<KvObject*>& generation : grace_frees) {
-    for (KvObject* object : generation) runtime_->memory().FreeObject(object);
-  }
 }
 
 LivePipeline::Stats LivePipeline::Collect() const {

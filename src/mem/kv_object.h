@@ -18,10 +18,18 @@ namespace dido {
 // added to each key-value object"), plus the intrusive LRU links used by the
 // slab allocator's eviction policy.
 struct KvObject {
+  // flags bit: set when the object has been unlinked from its LRU list and
+  // handed to the epoch manager for deferred reclamation.  Whoever flips
+  // the bit 0 -> 1 (always under the slab allocator's mutex) owns the
+  // object's retirement; this is what keeps a SET-overwrite racing an
+  // eviction of the same object from retiring it twice.
+  static constexpr uint8_t kFlagDetached = 0x1;
+
   uint32_t key_size = 0;
   uint32_t value_size = 0;
   uint32_t version = 0;
   uint8_t slab_class = 0;
+  // Read and written only under the slab allocator's mutex.
   uint8_t flags = 0;
   uint16_t reserved = 0;
 

@@ -1,30 +1,101 @@
 #include "mem/memory_manager.h"
 
+#include <utility>
+
+#include "common/logging.h"
+#include "sync/epoch.h"
+
 namespace dido {
 
 Result<KvObject*> MemoryManager::AllocateObject(
     std::string_view key, std::string_view value, uint32_t version,
     std::vector<SlabAllocator::EvictedObject>* evictions) {
-  const size_t evicted_before = evictions != nullptr ? evictions->size() : 0;
-  Result<KvObject*> result =
-      allocator_.Allocate(key, value, version, evictions);
+  // Victims are collected through a local out-param and counted one by one:
+  // with the MM task reachable from several stages at once, inferring the
+  // count from a shared vector's size delta would race.
+  SlabAllocator::EvictedObject victim;
+  Result<KvObject*> result = allocator_.Allocate(
+      key, value, version, &victim,
+      epoch_ != nullptr ? SlabAllocator::EvictionMode::kFail
+                        : SlabAllocator::EvictionMode::kReuseInline);
+  if (epoch_ != nullptr && !result.ok() &&
+      result.status().code() == StatusCode::kOutOfMemory) {
+    // Drain-first: quarantined chunks (earlier evictions, replaced SET
+    // versions) are logically free — returning them is strictly better
+    // than sacrificing a live object.  A full drain can take one advance
+    // per generation, so try that many rounds before giving up; rounds cut
+    // short by a pinned reader just come back 0 and fall through.
+    for (uint64_t round = 0; round < EpochManager::kGenerations; ++round) {
+      epoch_->TryReclaim();
+      result = allocator_.Allocate(key, value, version, &victim,
+                                   SlabAllocator::EvictionMode::kFail);
+      if (result.ok()) break;
+    }
+    if (!result.ok() &&
+        result.status().code() == StatusCode::kOutOfMemory) {
+      // Nothing reclaimable: detach the LRU victim for the caller to
+      // unlink and retire; this allocation stays unsatisfied until the
+      // quarantine drains.
+      result = allocator_.Allocate(key, value, version, &victim,
+                                   SlabAllocator::EvictionMode::kDetach);
+    }
+  }
+  if (victim.stale_ptr != nullptr) {
+    // relaxed: monotonic statistic, orders nothing.
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (evictions != nullptr) {
+      evictions->push_back(std::move(victim));
+    } else {
+      // Epoch mode must surface the victim — somebody has to retire it.
+      DIDO_CHECK(epoch_ == nullptr)
+          << "epoch-mode AllocateObject requires an evictions out-param";
+    }
+  }
   if (!result.ok()) {
-    failed_allocations_.fetch_add(1, std::memory_order_relaxed);
+    // Epoch-mode kOutOfMemory is a retryable quarantine condition, not yet
+    // a failure (see header).
+    if (epoch_ == nullptr ||
+        result.status().code() != StatusCode::kOutOfMemory) {
+      // relaxed: monotonic statistic, orders nothing.
+      failed_allocations_.fetch_add(1, std::memory_order_relaxed);
+    }
     return result;
   }
+  // relaxed: monotonic statistic, orders nothing.
   allocations_.fetch_add(1, std::memory_order_relaxed);
-  if (evictions != nullptr) {
-    evictions_.fetch_add(evictions->size() - evicted_before,
-                         std::memory_order_relaxed);
-  }
   return result;
 }
 
 void MemoryManager::FreeObject(KvObject* object) {
   allocator_.Free(object);
+  // relaxed: monotonic statistic, orders nothing.
   frees_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void MemoryManager::TouchObject(KvObject* object) { allocator_.Touch(object); }
+
+void MemoryManager::RetireObject(KvObject* object) {
+  if (epoch_ == nullptr) {
+    FreeObject(object);
+    return;
+  }
+  // Winner of the detach race owns the retirement; if an eviction got
+  // there first, its path retires the object instead.
+  if (!allocator_.TryDetach(object)) return;
+  epoch_->Retire(object, &MemoryManager::ReleaseDetachedThunk, this);
+}
+
+void MemoryManager::RetireDetached(KvObject* object) {
+  DIDO_CHECK(epoch_ != nullptr);
+  epoch_->Retire(object, &MemoryManager::ReleaseDetachedThunk, this);
+}
+
+void MemoryManager::ReleaseDetachedThunk(void* ctx, void* ptr) {
+  auto* manager = static_cast<MemoryManager*>(ctx);
+  manager->allocator_.ReleaseDetached(static_cast<KvObject*>(ptr));
+  // relaxed: monotonic statistic, orders nothing.  Counted here (not at
+  // Retire) so allocations - frees still equals live + quarantined.
+  manager->frees_.fetch_add(1, std::memory_order_relaxed);
+}
 
 }  // namespace dido

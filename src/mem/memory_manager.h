@@ -12,6 +12,8 @@
 
 namespace dido {
 
+class EpochManager;
+
 // Implements the MM task of the query-processing workflow: memory
 // allocation for new key-value objects and eviction when the store is full
 // (paper Section III-A, task (3)).  One SET that triggers an eviction yields
@@ -32,14 +34,49 @@ class MemoryManager {
   explicit MemoryManager(const SlabAllocator::Options& options)
       : allocator_(options) {}
 
+  // Binds an epoch manager, switching eviction and retirement from
+  // immediate chunk reuse (legacy mode: single-threaded tests, baseline
+  // benchmarks) to detach-and-quarantine.  Call before any concurrent use.
+  void set_epoch_manager(EpochManager* epoch) { epoch_ = epoch; }
+  EpochManager* epoch_manager() const { return epoch_; }
+
   // Allocates storage for (key, value).  Evicted victims are appended to
   // `evictions` so the caller can generate index Remove operations.
+  //
+  // In epoch mode, memory pressure first tries to drain quarantined chunks
+  // (TryReclaim) — a live object is only evicted when nothing is
+  // reclaimable.  Such an eviction does NOT satisfy this allocation: the
+  // victim is detached (appended to `evictions`, which must then be
+  // non-null) and kOutOfMemory is returned.  The caller must drop the victim's index
+  // entry, RetireDetached() it, and retry once the epoch manager has had a
+  // chance to drain (see KvRuntime::AllocateWithEviction).  Epoch-mode
+  // kOutOfMemory is therefore retryable and not counted as a failed
+  // allocation; callers that give up call NoteAllocationFailure().
   Result<KvObject*> AllocateObject(
       std::string_view key, std::string_view value, uint32_t version,
       std::vector<SlabAllocator::EvictedObject>* evictions);
 
   // Releases an object (DELETE query path, or replacing a SET).
   void FreeObject(KvObject* object);
+
+  // Deferred-reclamation entry point for an object just unlinked from the
+  // index (replaced by a SET, removed by a DELETE, or never published
+  // because its Insert failed).  Epoch mode: detaches the object and
+  // quarantines it; a no-op when a concurrent eviction already detached it
+  // (the eviction path owns its retirement).  Legacy mode: immediate free.
+  void RetireObject(KvObject* object);
+
+  // Quarantines an eviction victim that AllocateObject already detached.
+  // Call only after the victim's stale index entry has been removed, so no
+  // new reader can reach it.  Epoch mode only.
+  void RetireDetached(KvObject* object);
+
+  // Records a definitive allocation failure after epoch-mode retries were
+  // exhausted (AllocateObject does not count retryable kOutOfMemory).
+  void NoteAllocationFailure() {
+    // relaxed: monotonic statistic, orders nothing.
+    failed_allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // GET path: LRU bump.
   void TouchObject(KvObject* object);
@@ -65,7 +102,11 @@ class MemoryManager {
   }
 
  private:
+  // Deleter thunk handed to EpochManager::Retire.
+  static void ReleaseDetachedThunk(void* ctx, void* ptr);
+
   SlabAllocator allocator_;
+  EpochManager* epoch_ = nullptr;  // null = legacy immediate-reuse mode
   // Monotonic statistics only — never used to order allocator state, so
   // relaxed ordering is sufficient.
   std::atomic<uint64_t> allocations_{0};

@@ -72,9 +72,11 @@ void SlabAllocator::LruPushFront(SlabClass& cls, KvObject* object) {
   if (cls.lru_tail == nullptr) cls.lru_tail = object;
 }
 
-Result<KvObject*> SlabAllocator::Allocate(
-    std::string_view key, std::string_view value, uint32_t version,
-    std::vector<EvictedObject>* evictions) {
+Result<KvObject*> SlabAllocator::Allocate(std::string_view key,
+                                          std::string_view value,
+                                          uint32_t version,
+                                          EvictedObject* evicted,
+                                          EvictionMode mode) {
   const size_t footprint = KvObject::FootprintFor(
       static_cast<uint32_t>(key.size()), static_cast<uint32_t>(value.size()));
   const int class_index = ClassForSize(footprint);
@@ -86,18 +88,33 @@ Result<KvObject*> SlabAllocator::Allocate(
   SlabClass& cls = classes_[static_cast<size_t>(class_index)];
 
   if (cls.free_chunks.empty() && !GrowClassLocked(cls)) {
+    if (mode == EvictionMode::kFail) {
+      return Status::OutOfMemory("class full; caller may reclaim and retry");
+    }
     // Arena exhausted: evict the LRU object of this class (memcached
     // semantics; this is what turns a SET into Insert+Delete index ops).
     KvObject* victim = cls.lru_tail;
     if (victim == nullptr) {
       return Status::OutOfMemory("class has no evictable object");
     }
-    if (evictions != nullptr) {
-      evictions->push_back(EvictedObject{std::string(victim->Key()), victim});
+    if (evicted != nullptr) {
+      evicted->key.assign(victim->Key().data(), victim->Key().size());
+      evicted->stale_ptr = victim;
     }
     LruUnlink(cls, victim);
     cls.live_objects -= 1;
     cls.evictions += 1;
+    if (mode == EvictionMode::kDetach) {
+      // The victim's storage may still be read through stale index
+      // candidates; keep it intact and let the caller route it through
+      // the epoch manager.  This allocation cannot be satisfied until
+      // ReleaseDetached hands the chunk back.
+      DIDO_CHECK(evicted != nullptr)
+          << "kDetach eviction requires an EvictedObject out-param";
+      victim->flags |= KvObject::kFlagDetached;
+      cls.detached += 1;
+      return Status::OutOfMemory("eviction victim quarantined");
+    }
     victim->~KvObject();
     cls.free_chunks.push_back(reinterpret_cast<uint8_t*>(victim));
   }
@@ -119,6 +136,8 @@ Result<KvObject*> SlabAllocator::Allocate(
 
 void SlabAllocator::Free(KvObject* object) {
   std::lock_guard<std::mutex> lock(mu_);
+  DIDO_CHECK_EQ(object->flags & KvObject::kFlagDetached, 0)
+      << "Free on a detached object; use ReleaseDetached";
   SlabClass& cls = classes_[object->slab_class];
   LruUnlink(cls, object);
   cls.live_objects -= 1;
@@ -128,9 +147,33 @@ void SlabAllocator::Free(KvObject* object) {
 
 void SlabAllocator::Touch(KvObject* object) {
   std::lock_guard<std::mutex> lock(mu_);
+  // A detached object is out of the LRU list; unlinking it again would
+  // corrupt the list heads (a GET can race the eviction of its own hit).
+  if ((object->flags & KvObject::kFlagDetached) != 0) return;
   SlabClass& cls = classes_[object->slab_class];
   LruUnlink(cls, object);
   LruPushFront(cls, object);
+}
+
+bool SlabAllocator::TryDetach(KvObject* object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if ((object->flags & KvObject::kFlagDetached) != 0) return false;
+  SlabClass& cls = classes_[object->slab_class];
+  LruUnlink(cls, object);
+  cls.live_objects -= 1;
+  cls.detached += 1;
+  object->flags |= KvObject::kFlagDetached;
+  return true;
+}
+
+void SlabAllocator::ReleaseDetached(KvObject* object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DIDO_CHECK_NE(object->flags & KvObject::kFlagDetached, 0)
+      << "ReleaseDetached on an object that was never detached";
+  SlabClass& cls = classes_[object->slab_class];
+  cls.detached -= 1;
+  object->~KvObject();
+  cls.free_chunks.push_back(reinterpret_cast<uint8_t*>(object));
 }
 
 SlabAllocator::Stats SlabAllocator::GetStats() const {
@@ -145,8 +188,10 @@ SlabAllocator::Stats SlabAllocator::GetStats() const {
     cs.live_objects = cls.live_objects;
     cs.free_chunks = cls.free_chunks.size();
     cs.evictions = cls.evictions;
+    cs.detached = cls.detached;
     stats.live_objects += cls.live_objects;
     stats.total_evictions += cls.evictions;
+    stats.detached_objects += cls.detached;
     stats.classes.push_back(cs);
   }
   return stats;

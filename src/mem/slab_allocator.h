@@ -35,6 +35,7 @@ class SlabAllocator {
     uint64_t live_objects = 0;
     uint64_t free_chunks = 0;
     uint64_t evictions = 0;
+    uint64_t detached = 0;  // chunks awaiting epoch reclamation
   };
 
   struct Stats {
@@ -42,6 +43,7 @@ class SlabAllocator {
     size_t used_bytes = 0;  // bytes in pages assigned to classes
     uint64_t live_objects = 0;
     uint64_t total_evictions = 0;
+    uint64_t detached_objects = 0;  // across all classes
     std::vector<ClassStats> classes;
   };
 
@@ -52,30 +54,64 @@ class SlabAllocator {
   SlabAllocator& operator=(const SlabAllocator&) = delete;
 
   // Identity of an object evicted to satisfy an allocation.  `key` is a
-  // copy of the victim's key (taken before its chunk is reused) and
+  // copy of the victim's key (taken before its chunk can be reused) and
   // `stale_ptr` is the chunk address the index entry still points at; the
   // caller must issue CuckooHashTable::Remove(HashKey(key), stale_ptr) to
-  // drop the stale entry.
+  // drop the stale entry.  `stale_ptr` stays nullptr when the allocation
+  // evicted nothing.
   struct EvictedObject {
     std::string key;
     KvObject* stale_ptr = nullptr;
   };
 
+  // What Allocate does with an eviction victim when the arena is full.
+  enum class EvictionMode {
+    // Destroy the victim and reuse its chunk for the new object in the
+    // same call.  Only safe when no concurrent reader can still hold the
+    // victim as an index candidate (single-threaded tests, benchmarks).
+    kReuseInline,
+    // Unlink the victim from the LRU list, mark it kFlagDetached, and
+    // leave its storage intact: the caller owns reclamation (drop the
+    // stale index entry, then EpochManager::Retire -> ReleaseDetached).
+    // The allocation itself fails with kOutOfMemory — the chunk only
+    // becomes reusable once the epoch manager drains it.
+    kDetach,
+    // Evict nothing: fail with kOutOfMemory and leave the LRU list
+    // untouched.  Lets the caller drain quarantined chunks (which came
+    // from earlier evictions or replacements) before sacrificing a live
+    // object — see MemoryManager::AllocateObject's drain-first policy.
+    kFail,
+  };
+
   // Allocates and initializes an object for (key, value).  If the arena is
-  // full, evicts the LRU object of the matching class first; the victim's
-  // identity is appended to `evictions` if non-null so the caller can issue
-  // the corresponding index Delete.  Fails with kOutOfMemory only if the
-  // object exceeds the largest class or the class has no evictable object.
+  // full, evicts the LRU object of the matching class per `mode`, filling
+  // `evicted` (required non-null for kDetach, optional otherwise) so the
+  // caller can issue the corresponding index Delete.  Fails with
+  // kOutOfMemory if the class has no evictable object, or — in kDetach
+  // mode — whenever an eviction was needed (see EvictionMode).
   Result<KvObject*> Allocate(std::string_view key, std::string_view value,
-                             uint32_t version,
-                             std::vector<EvictedObject>* evictions);
+                             uint32_t version, EvictedObject* evicted,
+                             EvictionMode mode = EvictionMode::kReuseInline);
 
   // Returns the object's chunk to its class free list and unlinks it from
-  // the LRU list.  The pointer must come from Allocate.
+  // the LRU list.  The pointer must come from Allocate and must not be
+  // detached.
   void Free(KvObject* object);
 
   // Moves the object to the MRU end of its class LRU list (GET path).
+  // No-op on a detached object, which is no longer in any LRU list.
   void Touch(KvObject* object);
+
+  // Unlinks a live object from its LRU list and marks it detached without
+  // releasing its storage.  Returns false when the object was already
+  // detached (e.g. by a concurrent eviction) — the caller then must NOT
+  // retire it, the earlier detacher owns that.
+  bool TryDetach(KvObject* object);
+
+  // Destroys a detached object and returns its chunk to the free list.
+  // This is the epoch manager's deleter target: it runs only once every
+  // reader that could hold the pointer has unpinned.
+  void ReleaseDetached(KvObject* object);
 
   // Number of size classes.
   size_t num_classes() const { return classes_.size(); }
@@ -98,6 +134,7 @@ class SlabAllocator {
     uint64_t pages = 0;
     uint64_t live_objects = 0;
     uint64_t evictions = 0;
+    uint64_t detached = 0;
   };
 
   // Assigns one fresh page to `cls`, splitting it into free chunks.

@@ -5,8 +5,7 @@ namespace dido {
 void QueryBatch::Clear() {
   frames.clear();
   queries.clear();
-  evictions.clear();
-  deferred_frees.clear();
+  epoch_pin.Release();
   staging.clear();
   responses.clear();
   index_counters_at_pp = CuckooHashTable::Counters();

@@ -12,6 +12,7 @@
 #include "net/codec.h"
 #include "net/sim_nic.h"
 #include "pipeline/pipeline_config.h"
+#include "sync/epoch.h"
 
 namespace dido {
 
@@ -26,6 +27,14 @@ struct QueryRecord {
   // IN.S output: signature-matching candidates awaiting KC verification.
   std::array<KvObject*, 4> candidates{};
   uint8_t num_candidates = 0;
+
+  // Victims this SET evicted (MM output).  Their stale index entries are
+  // removed and the objects retired to the epoch manager inline during MM
+  // (the allocation cannot proceed before the unlink), so these records
+  // are observability only — `stale_ptr` must never be dereferenced.
+  // Per-record rather than per-batch so concurrent executions of disjoint
+  // MM ranges of one batch never share a vector.
+  std::vector<SlabAllocator::EvictedObject> evictions;
 
   // KC output (GET) or MM output (SET).
   KvObject* object = nullptr;
@@ -86,11 +95,14 @@ struct QueryBatch {
   std::vector<Frame> frames;         // owned input frames
   std::vector<QueryRecord> queries;  // parsed queries (PP output)
 
-  // Eviction victims recorded by MM, resolved by IN.D.
-  std::vector<SlabAllocator::EvictedObject> evictions;
-  // Objects unlinked from the index this batch; freed when the batch
-  // retires (one-batch grace period for concurrent readers).
-  std::vector<KvObject*> deferred_frees;
+  // Epoch pin protecting every index candidate collected by this batch's
+  // IN.S from reclamation until the batch retires.  Shared-pin flavour
+  // because the pin crosses stage threads with the batch (acquired by the
+  // thread running IN.S, released — possibly elsewhere — by RetireBatch).
+  // Deliberately NOT acquired before MM: a batch pinned during its own
+  // allocations would block the epoch advance its own eviction victims
+  // need, turning memory pressure into a self-inflicted stall.
+  EpochPin epoch_pin;
 
   std::vector<uint8_t> staging;   // RD output buffer (sequentialized values)
   std::vector<Frame> responses;   // WR output frames

@@ -1,14 +1,55 @@
 #include "pipeline/kv_runtime.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/logging.h"
 
 namespace dido {
+namespace {
+
+// Bound on the detach-retire-reclaim rounds one allocation may drive.
+// Each unproductive round yields, so the bound is only reached when pinned
+// readers starve reclamation for the whole window.
+constexpr int kMaxAllocationAttempts = 64;
+
+}  // namespace
 
 KvRuntime::KvRuntime(const Options& options)
     : index_(std::make_unique<CuckooHashTable>(options.index)),
-      memory_(std::make_unique<MemoryManager>(options.slab)) {}
+      memory_(std::make_unique<MemoryManager>(options.slab)) {
+  memory_->set_epoch_manager(&epoch_);
+}
+
+Result<KvObject*> KvRuntime::AllocateWithEviction(
+    std::string_view key, std::string_view value, uint32_t version,
+    std::vector<SlabAllocator::EvictedObject>* evictions) {
+  DIDO_CHECK(evictions != nullptr);
+  for (int attempt = 0; attempt < kMaxAllocationAttempts; ++attempt) {
+    const size_t first_new = evictions->size();
+    Result<KvObject*> object =
+        memory_->AllocateObject(key, value, version, evictions);
+    for (size_t v = first_new; v < evictions->size(); ++v) {
+      const SlabAllocator::EvictedObject& victim = (*evictions)[v];
+      // Unlink before retiring: once the stale entry is gone no new reader
+      // can pick the pointer up, so two epoch advances later the chunk is
+      // provably unreachable.  The Remove may miss (a racing SET already
+      // replaced the entry) — the victim is ours to retire either way.
+      index_->Remove(CuckooHashTable::HashKey(victim.key), victim.stale_ptr)
+          .ok();
+      memory_->RetireDetached(victim.stale_ptr);
+    }
+    if (object.ok() ||
+        object.status().code() != StatusCode::kOutOfMemory) {
+      return object;
+    }
+    // An eviction quarantines the victim's chunk instead of handing it to
+    // this allocation; it only comes back through an epoch advance.
+    if (epoch_.TryReclaim() == 0) std::this_thread::yield();
+  }
+  memory_->NoteAllocationFailure();
+  return Status::OutOfMemory("quarantined evictions outpaced reclamation");
+}
 
 uint64_t KvRuntime::Preload(const DatasetSpec& dataset,
                             uint64_t target_objects) {
@@ -25,22 +66,18 @@ uint64_t KvRuntime::Preload(const DatasetSpec& dataset,
         reinterpret_cast<const char*>(value_buffer.data()),
         dataset.value_size);
     evictions.clear();
-    Result<KvObject*> object =
-        memory_->AllocateObject(key, value, 0, &evictions);
+    // If preloading wraps the arena, victims' stale entries are dropped
+    // and the victims quarantined inside AllocateWithEviction.
+    Result<KvObject*> object = AllocateWithEviction(key, value, 0, &evictions);
     if (!object.ok()) break;
-    // If preloading wrapped the arena, drop the victims' stale entries.
-    for (const SlabAllocator::EvictedObject& victim : evictions) {
-      index_->Remove(CuckooHashTable::HashKey(victim.key), victim.stale_ptr)
-          .ok();
-    }
     KvObject* replaced = nullptr;
     const Status status =
         index_->Insert(CuckooHashTable::HashKey(key), *object, &replaced);
     if (!status.ok()) {
-      memory_->FreeObject(*object);
+      memory_->RetireObject(*object);
       break;
     }
-    if (replaced != nullptr) memory_->FreeObject(replaced);
+    if (replaced != nullptr) memory_->RetireObject(replaced);
     ++stored;
   }
   return index_->LiveEntries();
@@ -78,13 +115,18 @@ Status KvRuntime::RunPacketProcessing(QueryBatch* batch) {
 
 void KvRuntime::RunMemoryManagement(QueryBatch* batch, size_t begin,
                                     size_t end) {
+  BatchMeasurements& m = batch->measurements;
   for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
     QueryRecord& record = batch->queries[i];
     if (record.op != QueryOp::kSet) continue;
-    Result<KvObject*> object = memory_->AllocateObject(
+    Result<KvObject*> object = AllocateWithEviction(
         record.key, record.value,
         version_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
-        &batch->evictions);
+        &record.evictions);
+    // Each eviction's paired index Delete already ran inline (the unlink
+    // must precede the victim's retirement); count it where the paper's
+    // Figure 6 analysis expects it.
+    m.deletes += record.evictions.size();
     if (!object.ok()) {
       record.status = ResponseStatus::kError;
       continue;
@@ -95,6 +137,11 @@ void KvRuntime::RunMemoryManagement(QueryBatch* batch, size_t begin,
 }
 
 void KvRuntime::RunIndexSearch(QueryBatch* batch, size_t begin, size_t end) {
+  // First IN.S execution on this batch pins the epoch; the pin travels
+  // with the batch (stages hand it off, never run IN.S concurrently) and
+  // is released by RetireBatch, keeping every candidate collected below
+  // dereferenceable by KC/RD/WR on any stage thread.
+  if (!batch->epoch_pin.held()) batch->epoch_pin = EpochPin(epoch_);
   for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
     QueryRecord& record = batch->queries[i];
     if (record.op != QueryOp::kGet) continue;
@@ -115,7 +162,9 @@ void KvRuntime::RunIndexInsert(QueryBatch* batch, size_t begin, size_t end) {
     KvObject* replaced = nullptr;
     const Status status = index_->Insert(record.hash, record.object, &replaced);
     if (!status.ok()) {
-      batch->deferred_frees.push_back(record.object);
+      // Never published, but it sat in the LRU list where a concurrent
+      // eviction may have detached it — RetireObject arbitrates.
+      memory_->RetireObject(record.object);
       record.object = nullptr;
       record.status = ResponseStatus::kError;
       m.failed_inserts += 1;
@@ -123,8 +172,9 @@ void KvRuntime::RunIndexInsert(QueryBatch* batch, size_t begin, size_t end) {
     }
     m.inserts += 1;
     if (replaced != nullptr) {
-      // Old version superseded in place; one-batch grace before the free.
-      batch->deferred_frees.push_back(replaced);
+      // Old version superseded in place; quarantined until concurrent
+      // readers provably dropped it.
+      memory_->RetireObject(replaced);
       record.old_version_unlinked = true;
       m.deletes += 1;  // counted as the Delete the paper pairs with a SET
     }
@@ -133,22 +183,12 @@ void KvRuntime::RunIndexInsert(QueryBatch* batch, size_t begin, size_t end) {
 
 void KvRuntime::RunIndexDelete(QueryBatch* batch, size_t begin, size_t end) {
   BatchMeasurements& m = batch->measurements;
-  if (begin == 0) {
-    // Eviction stubs recorded by MM: drop the stale index entries.
-    for (const SlabAllocator::EvictedObject& victim : batch->evictions) {
-      if (index_
-              ->Remove(CuckooHashTable::HashKey(victim.key), victim.stale_ptr)
-              .ok()) {
-        m.deletes += 1;
-      }
-    }
-  }
   for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
     QueryRecord& record = batch->queries[i];
     if (record.op == QueryOp::kDelete) {
       KvObject* removed = nullptr;
       if (index_->Delete(record.hash, record.key, &removed).ok()) {
-        batch->deferred_frees.push_back(removed);
+        memory_->RetireObject(removed);
         record.status = ResponseStatus::kDeleted;
         m.deletes += 1;
       } else {
@@ -262,11 +302,16 @@ void KvRuntime::RunRangeTask(TaskKind task, QueryBatch* batch, size_t begin,
 }
 
 void KvRuntime::RetireBatch(QueryBatch* batch) {
-  for (KvObject* object : batch->deferred_frees) {
-    memory_->FreeObject(object);
+  // Nothing dereferences this batch's candidates past WR: release the pin,
+  // then opportunistically advance — with batches retiring continuously
+  // this is what keeps the quarantine draining in steady state.
+  batch->epoch_pin.Release();
+  epoch_.TryReclaim();
+  uint64_t evicted = 0;
+  for (const QueryRecord& record : batch->queries) {
+    evicted += record.evictions.size();
   }
-  batch->deferred_frees.clear();
-  batch->measurements.evictions = batch->evictions.size();
+  batch->measurements.evictions = evicted;
 
   // Per-batch probe averages from the cuckoo counter deltas, against the
   // snapshot PP stored in the batch.  With several batches in flight the
@@ -299,26 +344,26 @@ void KvRuntime::RetireBatch(QueryBatch* batch) {
 
 Status KvRuntime::Put(std::string_view key, std::string_view value) {
   std::vector<SlabAllocator::EvictedObject> evictions;
-  Result<KvObject*> object = memory_->AllocateObject(
+  Result<KvObject*> object = AllocateWithEviction(
       key, value, version_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
       &evictions);
   if (!object.ok()) return object.status();
-  for (const SlabAllocator::EvictedObject& victim : evictions) {
-    index_->Remove(CuckooHashTable::HashKey(victim.key), victim.stale_ptr)
-        .ok();
-  }
   KvObject* replaced = nullptr;
   const Status status =
       index_->Insert(CuckooHashTable::HashKey(key), *object, &replaced);
   if (!status.ok()) {
-    memory_->FreeObject(*object);
+    memory_->RetireObject(*object);
     return status;
   }
-  if (replaced != nullptr) memory_->FreeObject(replaced);
+  if (replaced != nullptr) memory_->RetireObject(replaced);
   return Status::Ok();
 }
 
 Result<std::string> KvRuntime::GetValue(std::string_view key) {
+  // The pin keeps the found object's storage alive from the index probe
+  // through the value copy, even if a concurrent eviction or overwrite
+  // retires it in between.
+  EpochGuard guard(epoch_);
   KvObject* object =
       index_->SearchVerified(CuckooHashTable::HashKey(key), key);
   if (object == nullptr) return Status::NotFound();
@@ -331,7 +376,7 @@ Status KvRuntime::DeleteKey(std::string_view key) {
   KvObject* removed = nullptr;
   DIDO_RETURN_IF_ERROR(
       index_->Delete(CuckooHashTable::HashKey(key), key, &removed));
-  memory_->FreeObject(removed);
+  memory_->RetireObject(removed);
   return Status::Ok();
 }
 

@@ -12,6 +12,7 @@
 #include "mem/memory_manager.h"
 #include "pipeline/batch.h"
 #include "pipeline/task.h"
+#include "sync/epoch.h"
 #include "workload/workload.h"
 
 namespace dido {
@@ -40,6 +41,10 @@ class KvRuntime {
 
   CuckooHashTable& index() { return *index_; }
   MemoryManager& memory() { return *memory_; }
+  // Reclamation authority for everything the index unlinks: evicted
+  // victims, replaced SET versions, DELETE removals.  Pipeline threads
+  // register as participants; readers pin around candidate access.
+  EpochManager& epoch() { return epoch_; }
 
   // Current profiler sampling epoch (bumped by the workload profiler).
   // Relaxed: the epoch is a monotone sampling label read by KC stage
@@ -70,12 +75,15 @@ class KvRuntime {
   void RunIndexSearch(QueryBatch* batch, size_t begin, size_t end);
   // IN.I: publishes SET objects in the index.
   void RunIndexInsert(QueryBatch* batch, size_t begin, size_t end);
-  // IN.D: explicit DELETE queries and eviction stubs.  A SET's superseded
-  // version is unlinked atomically by the Insert CAS (as in Mega-KV's
-  // in-place index update), so there is never a window in which the key is
-  // absent; the unlink is nonetheless *counted* as the Delete operation the
-  // paper pairs with every SET, and its cost is charged to the IN.D task
-  // wherever the configuration places it.
+  // IN.D: explicit DELETE queries.  A SET's superseded version is unlinked
+  // atomically by the Insert CAS (as in Mega-KV's in-place index update),
+  // so there is never a window in which the key is absent; the unlink is
+  // nonetheless *counted* as the Delete operation the paper pairs with
+  // every SET, and its cost is charged to the IN.D task wherever the
+  // configuration places it.  Eviction stubs are no longer resolved here:
+  // an eviction's index Delete must precede the victim's retirement, so it
+  // runs inline in MM (see AllocateWithEviction) and only its count flows
+  // through the measurements.
   void RunIndexDelete(QueryBatch* batch, size_t begin, size_t end);
   // KC: verifies candidates by full-key comparison; bumps LRU + sampling.
   void RunKeyComparison(QueryBatch* batch, size_t begin, size_t end);
@@ -90,8 +98,9 @@ class KvRuntime {
   void RunRangeTask(TaskKind task, QueryBatch* batch, size_t begin,
                     size_t end);
 
-  // Retires the batch: performs deferred frees and finalizes probe
-  // averages in the measurements.
+  // Retires the batch: releases its epoch pin (making everything the batch
+  // unlinked reclaimable two advances later), finalizes probe averages in
+  // the measurements, and opportunistically advances the epoch.
   void RetireBatch(QueryBatch* batch);
 
   // --- direct (non-pipelined) API used by DidoStore and tests ---
@@ -102,6 +111,18 @@ class KvRuntime {
   uint64_t live_objects() const;
 
  private:
+  // Allocates storage for (key, value), driving the quarantine cycle under
+  // memory pressure: each round detaches an LRU victim, drops its stale
+  // index entry, retires it to the epoch manager, attempts a reclaim, and
+  // retries.  Bounded; on exhaustion returns kOutOfMemory (counted as a
+  // failed allocation).  Victims are appended to `evictions` (required
+  // non-null) for the caller's accounting; their index entries are already
+  // gone when this returns.  Must not be called while the calling thread
+  // holds an epoch pin — the reclaim it waits for could then never happen.
+  Result<KvObject*> AllocateWithEviction(
+      std::string_view key, std::string_view value, uint32_t version,
+      std::vector<SlabAllocator::EvictedObject>* evictions);
+
   std::unique_ptr<CuckooHashTable> index_;
   std::unique_ptr<MemoryManager> memory_;
   std::atomic<uint64_t> sampling_epoch_{1};
@@ -109,6 +130,9 @@ class KvRuntime {
   // respect to any other memory — the MM stage and the direct Put API may
   // allocate concurrently.
   std::atomic<uint32_t> version_counter_{0};
+  // Declared last: destroyed first, so the drain its destructor performs
+  // runs while memory_ (the deleters' target) is still alive.
+  EpochManager epoch_;
 };
 
 }  // namespace dido

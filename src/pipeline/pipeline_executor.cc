@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "pipeline/work_stealing.h"
+#include "sync/epoch.h"
 
 namespace dido {
 namespace {
@@ -75,6 +76,9 @@ BatchResult PipelineExecutor::RunBatch(const PipelineConfig& config,
                                        uint64_t target_queries,
                                        std::vector<Frame>* responses) {
   DIDO_CHECK(config.Valid()) << config.ToString();
+  // The executor thread is an epoch participant for the batch's lifetime,
+  // giving its pins (batch pin aside) the contention-free slot path.
+  ScopedEpochParticipant epoch_participant(runtime_->epoch());
   QueryBatch batch;
   batch.sequence = ++sequence_;
   batch.config = config;

@@ -59,7 +59,7 @@ TEST(LivePipelineTest, MixedTrafficKeepsStoreIntact) {
   const LivePipeline::Stats stats = pipeline.Collect();
   EXPECT_GT(stats.sets, 1000u);
   // In-place index replacement: concurrent batches may only miss through
-  // reclamation races, which the in-flight-window grace period prevents.
+  // reclamation races, which the epoch pins each batch carries prevent.
   EXPECT_EQ(stats.misses, 0u);
   // Memory must be steady after tens of thousands of overwrites.
   EXPECT_EQ(f.runtime->live_objects(), f.objects);

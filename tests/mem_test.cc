@@ -10,6 +10,7 @@
 #include "mem/kv_object.h"
 #include "mem/memory_manager.h"
 #include "mem/slab_allocator.h"
+#include "sync/epoch.h"
 
 namespace dido {
 namespace {
@@ -99,29 +100,28 @@ TEST(SlabAllocatorTest, EvictsLeastRecentlyUsed) {
   SlabAllocator::Options options = SmallArena(64 << 10);
   SlabAllocator allocator(options);
   std::vector<KvObject*> objects;
-  std::vector<SlabAllocator::EvictedObject> evictions;
+  SlabAllocator::EvictedObject evicted;
   // Fill the page.
   const size_t capacity = (64 << 10) / 64;
   for (size_t i = 0; i < capacity; ++i) {
     const std::string key = "key" + std::to_string(1000 + i);
-    Result<KvObject*> object = allocator.Allocate(key, "v", 0, &evictions);
+    Result<KvObject*> object = allocator.Allocate(key, "v", 0, &evicted);
     ASSERT_TRUE(object.ok());
     objects.push_back(*object);
   }
-  EXPECT_TRUE(evictions.empty());
+  EXPECT_EQ(evicted.stale_ptr, nullptr);
   // The next allocation must evict the least recently used = first object.
   Result<KvObject*> overflow =
-      allocator.Allocate("overflow", "v", 0, &evictions);
+      allocator.Allocate("overflow", "v", 0, &evicted);
   ASSERT_TRUE(overflow.ok());
-  ASSERT_EQ(evictions.size(), 1u);
-  EXPECT_EQ(evictions[0].key, "key1000");
-  EXPECT_EQ(evictions[0].stale_ptr, objects[0]);
+  EXPECT_EQ(evicted.key, "key1000");
+  EXPECT_EQ(evicted.stale_ptr, objects[0]);
 }
 
 TEST(SlabAllocatorTest, TouchProtectsFromEviction) {
   SlabAllocator::Options options = SmallArena(64 << 10);
   SlabAllocator allocator(options);
-  std::vector<SlabAllocator::EvictedObject> evictions;
+  SlabAllocator::EvictedObject evicted;
   std::vector<KvObject*> objects;
   const size_t capacity = (64 << 10) / 64;
   for (size_t i = 0; i < capacity; ++i) {
@@ -132,10 +132,63 @@ TEST(SlabAllocatorTest, TouchProtectsFromEviction) {
   }
   allocator.Touch(objects[0]);  // bump the would-be victim to MRU
   Result<KvObject*> overflow =
-      allocator.Allocate("overflow", "v", 0, &evictions);
+      allocator.Allocate("overflow", "v", 0, &evicted);
   ASSERT_TRUE(overflow.ok());
-  ASSERT_EQ(evictions.size(), 1u);
-  EXPECT_EQ(evictions[0].key, "key1001");  // second-oldest evicted instead
+  ASSERT_NE(evicted.stale_ptr, nullptr);
+  EXPECT_EQ(evicted.key, "key1001");  // second-oldest evicted instead
+}
+
+TEST(SlabAllocatorTest, DetachModeQuarantinesVictimAndFailsAllocation) {
+  SlabAllocator::Options options = SmallArena(64 << 10);
+  SlabAllocator allocator(options);
+  std::vector<KvObject*> objects;
+  const size_t capacity = (64 << 10) / 64;
+  for (size_t i = 0; i < capacity; ++i) {
+    Result<KvObject*> object =
+        allocator.Allocate("key" + std::to_string(1000 + i), "v", 0, nullptr);
+    ASSERT_TRUE(object.ok());
+    objects.push_back(*object);
+  }
+  // Detach-mode overflow: the LRU victim is unlinked and flagged but its
+  // storage survives, and the allocation itself reports out-of-memory.
+  SlabAllocator::EvictedObject evicted;
+  Result<KvObject*> overflow =
+      allocator.Allocate("overflow", "v", 0, &evicted,
+                         SlabAllocator::EvictionMode::kDetach);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kOutOfMemory);
+  ASSERT_EQ(evicted.stale_ptr, objects[0]);
+  EXPECT_EQ(evicted.key, "key1000");
+  EXPECT_NE(evicted.stale_ptr->flags & KvObject::kFlagDetached, 0);
+  // The victim's payload is still readable (a concurrent reader could
+  // hold it as an index candidate).
+  EXPECT_EQ(evicted.stale_ptr->Key(), "key1000");
+
+  const SlabAllocator::Stats stats = allocator.GetStats();
+  EXPECT_EQ(stats.detached_objects, 1u);
+  EXPECT_EQ(stats.live_objects, capacity - 1);
+  EXPECT_EQ(stats.total_evictions, 1u);
+
+  // Touch on a detached object is a no-op (it is in no LRU list).
+  allocator.Touch(evicted.stale_ptr);
+
+  // Releasing the detached chunk makes the next allocation succeed and
+  // reuse exactly that chunk.
+  allocator.ReleaseDetached(evicted.stale_ptr);
+  Result<KvObject*> retry = allocator.Allocate("overflow", "v", 0, nullptr);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(*retry, objects[0]);
+  EXPECT_EQ(allocator.GetStats().detached_objects, 0u);
+}
+
+TEST(SlabAllocatorTest, TryDetachWinsExactlyOnce) {
+  SlabAllocator allocator(SmallArena());
+  Result<KvObject*> object = allocator.Allocate("key-0001", "v", 0, nullptr);
+  ASSERT_TRUE(object.ok());
+  EXPECT_TRUE(allocator.TryDetach(*object));
+  // Second detacher loses: the first owns the object's retirement.
+  EXPECT_FALSE(allocator.TryDetach(*object));
+  allocator.ReleaseDetached(*object);
 }
 
 TEST(SlabAllocatorTest, StatsTrackLiveObjectsAndEvictions) {
@@ -158,11 +211,11 @@ TEST(SlabAllocatorTest, CapacityForObjectMatchesReality) {
   SlabAllocator allocator(options);
   const uint64_t predicted = allocator.CapacityForObject(8, 8);
   uint64_t stored = 0;
-  std::vector<SlabAllocator::EvictedObject> evictions;
-  while (evictions.empty() && stored < predicted + 10) {
+  SlabAllocator::EvictedObject evicted;
+  while (evicted.stale_ptr == nullptr && stored < predicted + 10) {
     ASSERT_TRUE(allocator
                     .Allocate("key" + std::to_string(10000000 + stored), "v",
-                              0, &evictions)
+                              0, &evicted)
                     .ok());
     ++stored;
   }
@@ -243,6 +296,83 @@ TEST(MemoryManagerTest, ResetCountersClears) {
   ASSERT_TRUE(manager.AllocateObject("key12345", "v", 0, nullptr).ok());
   manager.ResetCounters();
   EXPECT_EQ(manager.counters().allocations, 0u);
+}
+
+TEST(MemoryManagerTest, RetireObjectLegacyModeFreesInline) {
+  MemoryManager manager(SmallArena());
+  Result<KvObject*> object =
+      manager.AllocateObject("key12345", "v", 0, nullptr);
+  ASSERT_TRUE(object.ok());
+  manager.RetireObject(*object);
+  EXPECT_EQ(manager.counters().frees, 1u);  // legacy = immediate reuse
+}
+
+TEST(MemoryManagerTest, RetireObjectEpochModeDefersUntilDrain) {
+  MemoryManager manager(SmallArena(64 << 10));
+  EpochManager epoch;
+  manager.set_epoch_manager(&epoch);
+  Result<KvObject*> first = manager.AllocateObject("key12345", "v", 0, nullptr);
+  ASSERT_TRUE(first.ok());
+  manager.RetireObject(*first);
+  // Quarantined, not yet freed: the chunk must not be handed out again.
+  EXPECT_EQ(manager.counters().frees, 0u);
+  EXPECT_EQ(manager.allocator().GetStats().detached_objects, 1u);
+  Result<KvObject*> second =
+      manager.AllocateObject("key12345", "w", 0, nullptr);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*second, *first);
+  // Draining the epoch runs the deleter exactly once and returns the chunk.
+  EXPECT_EQ(epoch.ReclaimAll(), 0u);
+  EXPECT_EQ(manager.counters().frees, 1u);
+  EXPECT_EQ(manager.allocator().GetStats().detached_objects, 0u);
+}
+
+TEST(MemoryManagerTest, EpochModeEvictionQuarantinesAndRetries) {
+  MemoryManager manager(SmallArena(64 << 10));
+  EpochManager epoch;
+  manager.set_epoch_manager(&epoch);
+  std::vector<SlabAllocator::EvictedObject> evictions;
+  const size_t capacity = (64 << 10) / 64;
+  for (size_t i = 0; i < capacity; ++i) {
+    ASSERT_TRUE(manager
+                    .AllocateObject("key" + std::to_string(10000 + i), "v", 0,
+                                    &evictions)
+                    .ok());
+  }
+  ASSERT_TRUE(evictions.empty());
+
+  // Overflow: the victim is quarantined and the allocation must be retried
+  // (mirroring KvRuntime::AllocateWithEviction).
+  Result<KvObject*> overflow =
+      manager.AllocateObject("overflow", "v", 0, &evictions);
+  ASSERT_FALSE(overflow.ok());
+  ASSERT_EQ(overflow.status().code(), StatusCode::kOutOfMemory);
+  ASSERT_EQ(evictions.size(), 1u);
+  manager.RetireDetached(evictions[0].stale_ptr);
+
+  bool satisfied = false;
+  for (int attempt = 0; attempt < 8 && !satisfied; ++attempt) {
+    epoch.TryReclaim();
+    Result<KvObject*> retry =
+        manager.AllocateObject("overflow", "v", 0, &evictions);
+    if (retry.ok()) {
+      satisfied = true;
+      break;
+    }
+    ASSERT_EQ(retry.status().code(), StatusCode::kOutOfMemory);
+    // Each failed round may quarantine another victim; keep retiring them
+    // or reclamation can never free enough chunks.
+    for (size_t v = 1; v < evictions.size(); ++v) {
+      manager.RetireDetached(evictions[v].stale_ptr);
+    }
+    evictions.erase(evictions.begin() + 1, evictions.end());
+  }
+  EXPECT_TRUE(satisfied);
+  // Retryable out-of-memory is not a failed allocation; the eviction is
+  // counted per victim.
+  EXPECT_EQ(manager.counters().failed_allocations, 0u);
+  EXPECT_GE(manager.counters().evictions, 1u);
+  epoch.ReclaimAll();
 }
 
 }  // namespace

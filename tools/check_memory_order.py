@@ -24,6 +24,8 @@ AUDITED_FILES = [
     "src/live/live_pipeline.h",
     "src/live/live_pipeline.cc",
     "src/mem/kv_object.h",
+    "src/sync/epoch.h",
+    "src/sync/epoch.cc",
 ]
 
 JUSTIFICATION_WINDOW = 10  # lines of lookback for a justifying comment
