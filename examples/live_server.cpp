@@ -20,8 +20,12 @@ namespace {
 
 LivePipeline::Stats ServeLive(KvRuntime& runtime, const PipelineConfig& config,
                               TrafficSource& source, int millis) {
+  // Bounded TX ring with drop-oldest overflow: under overload the server
+  // abandons the stalest responses rather than blocking the pipeline.
+  FrameRing tx_ring(4096, OverflowPolicy::kDropOldest);
   LivePipeline::Options options;
   options.batch_queries = 4096;
+  options.response_ring = &tx_ring;
   LivePipeline pipeline(&runtime, config, options);
   DIDO_CHECK(pipeline.Start(&source).ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(millis));
@@ -63,12 +67,27 @@ int main() {
         ServeLive(runtime, config, source, 2000);
     std::printf("%-16s %s\n", name, config.ToString().c_str());
     std::printf("  %.2f s wall, %lu batches, %lu queries, %.2f Mops "
-                "(host machine), hit ratio %.2f%%\n\n",
+                "(host machine), hit ratio %.2f%%\n",
                 stats.wall_seconds, static_cast<unsigned long>(stats.batches),
                 static_cast<unsigned long>(stats.queries), stats.mops,
                 stats.queries > 0 ? 100.0 * stats.hits /
                                         (stats.hits + stats.misses)
                                   : 0.0);
+    const DegradationStats& d = stats.degradation;
+    std::printf("  robustness: %lu shed batches (%lu queries), %lu set "
+                "retries, %lu error responses,\n"
+                "              %lu failovers / %lu repromotions, %lu "
+                "degraded batches, %lu malformed frames,\n"
+                "              %lu responses dropped by the TX ring\n\n",
+                static_cast<unsigned long>(d.shed_batches),
+                static_cast<unsigned long>(d.shed_queries),
+                static_cast<unsigned long>(d.set_retries),
+                static_cast<unsigned long>(d.error_responses),
+                static_cast<unsigned long>(d.failovers),
+                static_cast<unsigned long>(d.repromotions),
+                static_cast<unsigned long>(d.degraded_batches),
+                static_cast<unsigned long>(d.malformed_frames),
+                static_cast<unsigned long>(d.responses_dropped));
   }
   std::printf("note: wall-clock Mops reflect this host's CPU, not the APU;\n"
               "      use the bench/ binaries for the paper's calibrated "

@@ -1,6 +1,8 @@
 #include "core/system_runner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -117,6 +119,30 @@ SystemMeasurement MeasureFixedConfig(const WorkloadSpec& workload,
   return FinishMeasurement(workload, "fixed:" + config.ToString(),
                            store.current_config(), preloaded,
                            std::move(steady));
+}
+
+LiveMeasurement MeasureLive(const WorkloadSpec& workload,
+                            const PipelineConfig& config,
+                            const ExperimentOptions& experiment,
+                            const LivePipeline::Options& live_options,
+                            int serve_millis) {
+  DIDO_CHECK(config.Valid()) << config.ToString();
+  KvRuntime runtime(
+      MakeRuntimeOptions(MakeExperimentOptions(workload, experiment)));
+  const uint64_t target = PreloadTarget(
+      workload.dataset, experiment.arena_bytes, experiment.preload_fraction);
+  const uint64_t preloaded = runtime.Preload(workload.dataset, target);
+  WorkloadSession session(workload, preloaded, experiment.workload_seed);
+  LivePipeline pipeline(&runtime, config, live_options);
+  DIDO_CHECK(pipeline.Start(session.source.get()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(serve_millis));
+  pipeline.Stop();
+  LiveMeasurement m;
+  m.workload = workload.Name();
+  m.config = config.ToString();
+  m.preloaded_objects = preloaded;
+  m.stats = pipeline.Collect();
+  return m;
 }
 
 }  // namespace dido

@@ -6,6 +6,7 @@
 
 #include "core/dido_store.h"
 #include "core/megakv_store.h"
+#include "live/live_pipeline.h"
 
 namespace dido {
 
@@ -79,6 +80,26 @@ SystemMeasurement MeasureMegaKvCoupled(const WorkloadSpec& workload,
 SystemMeasurement MeasureFixedConfig(const WorkloadSpec& workload,
                                      const PipelineConfig& config,
                                      const ExperimentOptions& experiment);
+
+// Wall-clock live-pipeline measurement (real OS threads, LivePipeline):
+// numbers reflect the host machine, not the simulated APU.  The stats carry
+// the degradation block — sheds, retries, failovers, error responses —
+// which is what live robustness runs are after.
+struct LiveMeasurement {
+  std::string workload;
+  std::string config;
+  uint64_t preloaded_objects = 0;
+  LivePipeline::Stats stats;
+};
+
+// Builds a runtime sized by `experiment`, preloads it, serves `workload`
+// through a LivePipeline under `config` for `serve_millis` of wall time,
+// and collects the stats.
+LiveMeasurement MeasureLive(const WorkloadSpec& workload,
+                            const PipelineConfig& config,
+                            const ExperimentOptions& experiment,
+                            const LivePipeline::Options& live_options,
+                            int serve_millis);
 
 }  // namespace dido
 

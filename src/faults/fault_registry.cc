@@ -1,0 +1,158 @@
+#include "faults/fault_registry.h"
+
+namespace dido {
+
+FaultRegistry& FaultRegistry::Global() {
+  // Leaked singleton: fault points may be evaluated from worker threads
+  // that outlive main()'s static destruction order.
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+uint64_t FaultRegistry::NextRand(PointState* state) {
+  uint64_t x = state->rng;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  state->rng = x;
+  return x;
+}
+
+double FaultRegistry::NextUniform(PointState* state) {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextRand(state) >> 11) * 0x1.0p-53;
+}
+
+void FaultRegistry::Arm(const std::string& point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    it = points_.emplace(point, PointState()).first;
+    armed_points_.fetch_add(1, std::memory_order_release);
+  }
+  PointState& state = it->second;
+  state = PointState();
+  state.spec = spec;
+  state.armed_at = std::chrono::steady_clock::now();
+  state.rng = spec.seed != 0 ? spec.seed : 1;
+}
+
+void FaultRegistry::ArmAlways(const std::string& point, double param) {
+  FaultSpec spec;
+  spec.trigger = Trigger::kAlways;
+  spec.param = param;
+  Arm(point, spec);
+}
+
+void FaultRegistry::ArmProbability(const std::string& point,
+                                   double probability, double param,
+                                   uint64_t seed) {
+  FaultSpec spec;
+  spec.trigger = Trigger::kProbability;
+  spec.probability = probability;
+  spec.param = param;
+  spec.seed = seed;
+  Arm(point, spec);
+}
+
+void FaultRegistry::ArmEveryNth(const std::string& point, uint64_t nth,
+                                double param) {
+  FaultSpec spec;
+  spec.trigger = Trigger::kEveryNth;
+  spec.nth = nth > 0 ? nth : 1;
+  spec.param = param;
+  Arm(point, spec);
+}
+
+void FaultRegistry::ArmOneShot(const std::string& point, double param) {
+  FaultSpec spec;
+  spec.trigger = Trigger::kOneShot;
+  spec.param = param;
+  Arm(point, spec);
+}
+
+void FaultRegistry::ArmWindow(const std::string& point, double window_seconds,
+                              double probability, double param,
+                              uint64_t seed) {
+  FaultSpec spec;
+  spec.trigger = Trigger::kWindow;
+  spec.window_seconds = window_seconds;
+  spec.probability = probability;
+  spec.param = param;
+  spec.seed = seed;
+  Arm(point, spec);
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_points_.fetch_sub(points_.size(), std::memory_order_release);
+  points_.clear();
+}
+
+bool FaultRegistry::ShouldFire(std::string_view point, FaultHit* hit) {
+  if (!armed()) return false;  // disarmed fast path: one atomic load
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  PointState& state = it->second;
+  state.evaluations += 1;
+  bool fire = false;
+  switch (state.spec.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kProbability:
+      fire = NextUniform(&state) < state.spec.probability;
+      break;
+    case Trigger::kEveryNth:
+      fire = state.evaluations % state.spec.nth == 0;
+      break;
+    case Trigger::kOneShot:
+      fire = !state.exhausted;
+      state.exhausted = true;
+      break;
+    case Trigger::kWindow: {
+      if (!state.exhausted) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          state.armed_at)
+                .count();
+        if (elapsed >= state.spec.window_seconds) {
+          state.exhausted = true;
+        } else {
+          fire = state.spec.probability >= 1.0 ||
+                 NextUniform(&state) < state.spec.probability;
+        }
+      }
+      break;
+    }
+  }
+  if (!fire) return false;
+  state.fires += 1;
+  if (hit != nullptr) {
+    hit->param = state.spec.param;
+    hit->rand = NextRand(&state);
+  }
+  return true;
+}
+
+uint64_t FaultRegistry::fire_count(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it != points_.end() ? it->second.fires : 0;
+}
+
+uint64_t FaultRegistry::evaluation_count(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it != points_.end() ? it->second.evaluations : 0;
+}
+
+}  // namespace dido

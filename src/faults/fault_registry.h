@@ -1,0 +1,139 @@
+#ifndef DIDO_FAULTS_FAULT_REGISTRY_H_
+#define DIDO_FAULTS_FAULT_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dido {
+
+// Fault-injection registry: named fault points compiled into the store's
+// hot paths (frame ring, codec, allocator, index, live stage workers) that
+// tests arm with a trigger policy to rehearse failures the production
+// system must degrade around — NIC loss, wire corruption, allocator
+// exhaustion, index contention, and GPU-hiccup-style stage stalls.
+//
+// The hot-path check is the DIDO_FAULT_POINT / DIDO_FAULT_POINT_HIT macro
+// below.  It compiles to the literal constant `false` unless the build
+// sets -DDIDO_FAULT_INJECTION (CMake option DIDO_FAULT_INJECTION), so the
+// default build carries zero overhead — no call, no branch, no registry
+// reference.  The registry class itself is always compiled, so arming
+// code and the trigger unit tests build in every configuration; without
+// the compile-time flag the armed points simply never fire.
+//
+// Thread safety: ShouldFire may be called concurrently from every pipeline
+// thread.  A lock-free "anything armed?" flag keeps the disarmed case to a
+// single atomic load; armed evaluation serializes on a mutex, which is
+// acceptable for chaos runs (fault evaluation is not a measured path).
+
+// Payload of a fired fault point, for sites that need more than a bool:
+// `param` carries the armed point's configured magnitude (e.g. stall
+// milliseconds) and `rand` a per-fire pseudo-random value (e.g. which bit
+// to flip).
+struct FaultHit {
+  double param = 0.0;
+  uint64_t rand = 0;
+};
+
+class FaultRegistry {
+ public:
+  enum class Trigger {
+    kAlways,       // fire on every evaluation
+    kProbability,  // fire with probability `probability` per evaluation
+    kEveryNth,     // fire on every nth evaluation (n, 2n, 3n, ...)
+    kOneShot,      // fire exactly once, then stay dormant
+    kWindow,       // fire (with `probability`) until `window_seconds` after
+                   // arming have elapsed, then stay dormant
+  };
+
+  struct FaultSpec {
+    Trigger trigger = Trigger::kAlways;
+    double probability = 1.0;    // kProbability / kWindow
+    uint64_t nth = 1;            // kEveryNth
+    double window_seconds = 0.0; // kWindow
+    double param = 0.0;          // point-specific payload (FaultHit::param)
+    uint64_t seed = 1;           // per-point RNG seed (never 0)
+  };
+
+  // Process-wide registry used by the DIDO_FAULT_POINT macros.
+  static FaultRegistry& Global();
+
+  FaultRegistry() = default;
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  // (Re-)arms `point` with `spec`, resetting its counters.  A kWindow
+  // point's window starts now.
+  void Arm(const std::string& point, const FaultSpec& spec);
+
+  // Convenience arms.
+  void ArmAlways(const std::string& point, double param = 0.0);
+  void ArmProbability(const std::string& point, double probability,
+                      double param = 0.0, uint64_t seed = 1);
+  void ArmEveryNth(const std::string& point, uint64_t nth, double param = 0.0);
+  void ArmOneShot(const std::string& point, double param = 0.0);
+  void ArmWindow(const std::string& point, double window_seconds,
+                 double probability = 1.0, double param = 0.0,
+                 uint64_t seed = 1);
+
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  // Evaluates `point`: true when the armed trigger says the fault fires
+  // now (filling `hit` if non-null).  Unarmed points never fire.
+  bool ShouldFire(std::string_view point, FaultHit* hit = nullptr);
+
+  // Times `point` fired / was evaluated since it was last armed.
+  uint64_t fire_count(std::string_view point) const;
+  uint64_t evaluation_count(std::string_view point) const;
+
+  // True when at least one point is armed.
+  bool armed() const {
+    return armed_points_.load(std::memory_order_acquire) > 0;
+  }
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    uint64_t evaluations = 0;
+    uint64_t fires = 0;
+    bool exhausted = false;  // kOneShot fired / kWindow elapsed
+    std::chrono::steady_clock::time_point armed_at;
+    uint64_t rng = 1;
+  };
+
+  // xorshift64 step on the point's RNG state.
+  static uint64_t NextRand(PointState* state);
+  // Uniform double in [0, 1).
+  static double NextUniform(PointState* state);
+
+  mutable std::mutex mu_;
+  // std::less<> enables string_view lookups without a temporary string.
+  std::map<std::string, PointState, std::less<>> points_;
+  // Fast-path gate: number of armed points.  Non-relaxed (acquire/release)
+  // so a ShouldFire that observes >0 also observes the map insertion made
+  // before the count was bumped... which the mutex re-checks anyway; the
+  // flag exists purely so the disarmed hot path is one atomic load.
+  std::atomic<uint64_t> armed_points_{0};
+};
+
+}  // namespace dido
+
+// Hot-path fault-point checks.  Compiled out (literal `false`, operands
+// unevaluated apart from marking `hit` used) unless the build defines
+// DIDO_FAULT_INJECTION.
+#if defined(DIDO_FAULT_INJECTION)
+#define DIDO_FAULT_POINT(point) \
+  (::dido::FaultRegistry::Global().ShouldFire((point), nullptr))
+#define DIDO_FAULT_POINT_HIT(point, hit) \
+  (::dido::FaultRegistry::Global().ShouldFire((point), (hit)))
+#else
+#define DIDO_FAULT_POINT(point) (false)
+#define DIDO_FAULT_POINT_HIT(point, hit) (static_cast<void>(hit), false)
+#endif
+
+#endif  // DIDO_FAULTS_FAULT_REGISTRY_H_

@@ -5,6 +5,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "faults/fault_registry.h"
 
 namespace dido {
 namespace {
@@ -158,6 +159,18 @@ Status CuckooHashTable::MakeRoom(uint64_t b1, uint64_t b2, uint64_t* out_bucket,
 
 Status CuckooHashTable::Insert(uint64_t hash, KvObject* object,
                                KvObject** replaced) {
+  FaultHit fault;
+  if (DIDO_FAULT_POINT_HIT("index.insert.busy", &fault)) {
+    // Injected transient contention (a cuckoo path in flight elsewhere):
+    // the caller's bounded retry-with-backoff must absorb this.
+    return Status::ResourceBusy("injected index contention");
+  }
+  if (DIDO_FAULT_POINT_HIT("index.insert.capacity_full", &fault)) {
+    // Injected displacement-bound exhaustion: terminal for this insert, so
+    // it must surface as a failed insert and an error response upstream.
+    counters_.failed_inserts.fetch_add(1, std::memory_order_relaxed);
+    return Status::CapacityFull("injected displacement exhaustion");
+  }
   const uint16_t signature = SignatureOf(hash);
   const uint64_t b1 = PrimaryBucket(hash);
   const uint64_t b2 = AlternateBucket(b1, signature);

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "faults/fault_registry.h"
 #include "sync/epoch.h"
 
 namespace dido {
@@ -26,6 +27,18 @@ std::unique_ptr<QueryBatch> LivePipeline::BatchQueue::Pop() {
   return batch;
 }
 
+LivePipeline::BatchQueue::SpaceWait LivePipeline::BatchQueue::WaitForSpace(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto ready = [this] { return queue_.size() < capacity_ || closed_; };
+  if (timeout.count() <= 0) {
+    cv_push_.wait(lock, ready);
+  } else if (!cv_push_.wait_for(lock, timeout, ready)) {
+    return SpaceWait::kTimeout;
+  }
+  return closed_ ? SpaceWait::kClosed : SpaceWait::kReady;
+}
+
 void LivePipeline::BatchQueue::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;
@@ -33,12 +46,20 @@ void LivePipeline::BatchQueue::Close() {
   cv_pop_.notify_all();
 }
 
+size_t LivePipeline::BatchQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 LivePipeline::LivePipeline(KvRuntime* runtime, const PipelineConfig& config,
                            const Options& options)
     : runtime_(runtime), config_(config), options_(options) {
   DIDO_CHECK(runtime != nullptr);
   DIDO_CHECK(config.Valid()) << config.ToString();
+  DIDO_CHECK(options.degraded_config.Valid())
+      << options.degraded_config.ToString();
   stages_ = config_.Stages(4);
+  degraded_stages_ = options_.degraded_config.Stages(4);
 }
 
 LivePipeline::~LivePipeline() { Stop(); }
@@ -49,6 +70,9 @@ Status LivePipeline::Start(TrafficSource* source) {
     return Status::AlreadyExists("pipeline already running");
   }
   stop_requested_.store(false);
+  // Relaxed: the flag is republished before any thread that reads it is
+  // spawned below (thread creation synchronizes).
+  degraded_.store(false, std::memory_order_relaxed);
   {
     // Collect() may run concurrently with Start from another thread; the
     // stats reset and epoch must be published under the same lock it reads.
@@ -56,17 +80,28 @@ Status LivePipeline::Start(TrafficSource* source) {
     stats_ = Stats();
     responses_.clear();
     start_time_ = std::chrono::steady_clock::now();
+    ring_dropped_at_start_ = options_.response_ring != nullptr
+                                 ? options_.response_ring->dropped()
+                                 : 0;
   }
 
-  // One queue in front of every stage after the first.
+  // One queue in front of every stage after the first, one health block
+  // per stage (health_[0] — the ingress — is allocated but unmonitored).
   queues_.clear();
-  for (size_t i = 1; i < stages_.size(); ++i) {
-    queues_.push_back(std::make_unique<BatchQueue>(options_.queue_depth));
+  health_.clear();
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    health_.push_back(std::make_unique<StageHealth>());
+    if (i >= 1) {
+      queues_.push_back(std::make_unique<BatchQueue>(options_.queue_depth));
+    }
   }
 
   threads_.emplace_back([this, source] { IngressLoop(source); });
   for (size_t s = 1; s < stages_.size(); ++s) {
     threads_.emplace_back([this, s] { StageLoop(s); });
+  }
+  if (options_.watchdog && stages_.size() > 1) {
+    threads_.emplace_back([this] { WatchdogLoop(); });
   }
   return Status::Ok();
 }
@@ -80,14 +115,58 @@ void LivePipeline::Stop() {
   }
   threads_.clear();
   queues_.clear();
+  health_.clear();
   // Every batch has retired and every pin is released; drain the epoch
   // quarantine so post-run accounting (live vs. freed) balances.
   runtime_->epoch().ReclaimAll();
   running_.store(false, std::memory_order_release);
 }
 
+void LivePipeline::RunStagesInline(const std::vector<StageSpec>& stages,
+                                   QueryBatch* batch) {
+  for (const StageSpec& stage : stages) {
+    for (TaskKind task : stage.tasks) {
+      if (task == TaskKind::kRv || task == TaskKind::kPp ||
+          task == TaskKind::kSd) {
+        continue;
+      }
+      runtime_->RunRangeTask(task, batch, 0, batch->size());
+    }
+  }
+}
+
+void LivePipeline::RetireAndCount(QueryBatch* batch, bool degraded_inline) {
+  // SD + retire: releases the batch's epoch pin and lets the epoch manager
+  // advance.
+  runtime_->RetireBatch(batch);
+  if (options_.response_ring != nullptr) {
+    // Overflow handling (and drop counting) is the ring's: kDropNewest
+    // rejects the frame, kDropOldest evicts the stalest queued response.
+    for (Frame& frame : batch->responses) {
+      options_.response_ring->Push(std::move(frame));
+    }
+  }
+  const BatchMeasurements& m = batch->measurements;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.batches += 1;
+  stats_.queries += m.num_queries;
+  stats_.hits += m.hits;
+  stats_.misses += m.misses;
+  stats_.sets += m.sets;
+  stats_.degradation.set_retries += m.set_retries;
+  stats_.degradation.error_responses += m.error_responses;
+  if (degraded_inline) stats_.degradation.degraded_batches += 1;
+  if (options_.keep_responses && options_.response_ring == nullptr) {
+    for (Frame& frame : batch->responses) {
+      responses_.push_back(std::move(frame));
+    }
+  }
+}
+
 void LivePipeline::IngressLoop(TrafficSource* source) {
   ScopedEpochParticipant epoch_participant(runtime_->epoch());
+  const std::chrono::milliseconds admission_timeout(
+      static_cast<int64_t>(options_.admission_timeout_ms));
   while (!stop_requested_.load(std::memory_order_acquire)) {
     auto batch = std::make_unique<QueryBatch>();
     batch->sequence = ++sequence_;
@@ -100,30 +179,60 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
       queries += source->FillFrame(&frame, nullptr);
       batch->frames.push_back(std::move(frame));
     }
-    // PP + stage-0 tasks.
+    // PP (tolerant: malformed records skip the rest of their frame).
     const Status status = runtime_->RunPacketProcessing(batch.get());
     if (!status.ok()) {
       DIDO_LOG(Error) << "packet processing failed: " << status.ToString();
       break;
     }
+    {
+      // Admission accounting happens here, once per parsed batch, whether
+      // the batch is later shed or retired — the two sides of the
+      // exactly-once invariant.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.degradation.ingested_queries += batch->measurements.num_queries;
+      stats_.degradation.malformed_frames +=
+          batch->measurements.malformed_frames;
+    }
+
+    // Relaxed: failover flag, see degraded().
+    if (degraded_.load(std::memory_order_relaxed) && !queues_.empty()) {
+      // Failed over: execute the whole chain inline under the degraded
+      // CPU-only configuration, bypassing the stalled stage graph.
+      batch->config = options_.degraded_config;
+      RunStagesInline(degraded_stages_, batch.get());
+      RetireAndCount(batch.get(), /*degraded_inline=*/true);
+      continue;
+    }
+
+    if (queues_.empty()) {
+      // Single-stage pipeline: the one stage runs inline, retire inline.
+      RunStagesInline(stages_, batch.get());
+      RetireAndCount(batch.get(), /*degraded_inline=*/false);
+      continue;
+    }
+
+    // Admission control *before* any stage-0 KV task: a shed batch must
+    // never have touched the index or the heap.  The ingress thread is the
+    // only producer of queues_[0], so kReady means the Push below cannot
+    // block.
+    const BatchQueue::SpaceWait wait =
+        queues_[0]->WaitForSpace(admission_timeout);
+    if (wait == BatchQueue::SpaceWait::kClosed) break;
+    if (wait == BatchQueue::SpaceWait::kTimeout) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.degradation.shed_batches += 1;
+      stats_.degradation.shed_queries += batch->measurements.num_queries;
+      continue;
+    }
+
+    // Stage-0 tasks.
     for (TaskKind task : stages_[0].tasks) {
       if (task == TaskKind::kRv || task == TaskKind::kPp ||
           task == TaskKind::kSd) {
         continue;
       }
       runtime_->RunRangeTask(task, batch.get(), 0, batch->size());
-    }
-
-    if (queues_.empty()) {
-      // Single-stage pipeline: retire inline.
-      runtime_->RetireBatch(batch.get());
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.batches += 1;
-      stats_.queries += batch->measurements.num_queries;
-      stats_.hits += batch->measurements.hits;
-      stats_.misses += batch->measurements.misses;
-      stats_.sets += batch->measurements.sets;
-      continue;
     }
     if (!queues_[0]->Push(std::move(batch))) break;
   }
@@ -140,10 +249,23 @@ void LivePipeline::StageLoop(size_t stage_index) {
   BatchQueue* out =
       stage_index < stages_.size() - 1 ? queues_[stage_index].get() : nullptr;
   const bool is_last = out == nullptr;
+  StageHealth& health = *health_[stage_index];
 
   for (;;) {
     std::unique_ptr<QueryBatch> batch = in.Pop();
     if (batch == nullptr) break;  // upstream closed and drained
+    // Relaxed: watchdog liveness signals, see StageHealth.
+    health.busy.store(true, std::memory_order_relaxed);
+    health.heartbeat.fetch_add(1, std::memory_order_relaxed);
+
+    FaultHit hit;
+    if (DIDO_FAULT_POINT_HIT("live.stage.stall", &hit)) {
+      // Injected stage stall: the thread sleeps with busy set and the
+      // heartbeat frozen — exactly what a wedged device queue looks like
+      // to the watchdog.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(hit.param)));
+    }
 
     for (TaskKind task : stages_[stage_index].tasks) {
       if (task == TaskKind::kRv || task == TaskKind::kPp ||
@@ -151,34 +273,114 @@ void LivePipeline::StageLoop(size_t stage_index) {
         continue;  // SD is the final hand-off below
       }
       runtime_->RunRangeTask(task, batch.get(), 0, batch->size());
+      // Relaxed: watchdog liveness signal, see StageHealth.
+      health.heartbeat.fetch_add(1, std::memory_order_relaxed);
     }
 
     if (!is_last) {
-      if (!out->Push(std::move(batch))) break;
+      const bool pushed = out->Push(std::move(batch));
+      // Relaxed: watchdog liveness signal, see StageHealth.
+      health.busy.store(false, std::memory_order_relaxed);
+      if (!pushed) break;
       continue;
     }
 
-    // SD + retire: releases the batch's epoch pin and lets the epoch
-    // manager advance.
-    runtime_->RetireBatch(batch.get());
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.batches += 1;
-    stats_.queries += batch->measurements.num_queries;
-    stats_.hits += batch->measurements.hits;
-    stats_.misses += batch->measurements.misses;
-    stats_.sets += batch->measurements.sets;
-    if (options_.keep_responses) {
-      for (Frame& frame : batch->responses) {
-        responses_.push_back(std::move(frame));
+    RetireAndCount(batch.get(), /*degraded_inline=*/false);
+    // Relaxed: watchdog liveness signal, see StageHealth.
+    health.busy.store(false, std::memory_order_relaxed);
+  }
+  if (out != nullptr) out->Close();
+}
+
+void LivePipeline::WatchdogLoop() {
+  using Clock = std::chrono::steady_clock;
+  const auto interval =
+      std::chrono::milliseconds(static_cast<int64_t>(
+          options_.watchdog_interval_ms > 0 ? options_.watchdog_interval_ms
+                                            : 1));
+  const auto stall_threshold =
+      std::chrono::milliseconds(static_cast<int64_t>(options_.stall_threshold_ms));
+  const auto dwell =
+      std::chrono::milliseconds(static_cast<int64_t>(options_.repromote_dwell_ms));
+
+  std::vector<uint64_t> last_beat(stages_.size(), 0);
+  std::vector<Clock::time_point> last_change(stages_.size(), Clock::now());
+  Clock::time_point healthy_since = Clock::now();
+  bool was_quiet = false;
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(interval);
+    const Clock::time_point now = Clock::now();
+
+    bool any_stalled = false;
+    bool all_quiet = true;
+    for (size_t s = 1; s < stages_.size(); ++s) {
+      StageHealth& health = *health_[s];
+      // Relaxed loads: watchdog liveness signals, see StageHealth.
+      const uint64_t beat = health.heartbeat.load(std::memory_order_relaxed);
+      const bool busy = health.busy.load(std::memory_order_relaxed) ||
+                        queues_[s - 1]->size() > 0;
+      if (busy) all_quiet = false;
+      if (beat != last_beat[s]) {
+        last_beat[s] = beat;
+        last_change[s] = now;
+        continue;
+      }
+      if (!busy) {
+        // Idle with an empty input queue: not progressing because there is
+        // nothing to do.
+        last_change[s] = now;
+        continue;
+      }
+      if (now - last_change[s] >= stall_threshold) any_stalled = true;
+    }
+
+    // Relaxed flag either way; the counters below are mutex-protected.
+    if (any_stalled && !degraded_.load(std::memory_order_relaxed)) {
+      degraded_.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.degradation.failovers += 1;
+      continue;
+    }
+
+    if (degraded_.load(std::memory_order_relaxed)) {
+      // Re-promote once the stage graph has been drained and idle for the
+      // dwell window (the stall was transient and everything queued behind
+      // it has flushed).
+      if (!all_quiet) {
+        was_quiet = false;
+        continue;
+      }
+      if (!was_quiet) {
+        was_quiet = true;
+        healthy_since = now;
+        continue;
+      }
+      if (now - healthy_since >= dwell) {
+        // Relaxed: failover flag (see degraded()) and liveness heartbeats
+        // (see StageHealth) — neither publishes data.
+        degraded_.store(false, std::memory_order_relaxed);
+        // Restart stall tracking from a clean slate so the pre-failover
+        // timestamps cannot instantly re-trigger.
+        for (size_t s = 1; s < stages_.size(); ++s) {
+          last_beat[s] = health_[s]->heartbeat.load(std::memory_order_relaxed);
+          last_change[s] = now;
+        }
+        was_quiet = false;
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.degradation.repromotions += 1;
       }
     }
   }
-  if (out != nullptr) out->Close();
 }
 
 LivePipeline::Stats LivePipeline::Collect() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   Stats stats = stats_;
+  if (options_.response_ring != nullptr) {
+    stats.degradation.responses_dropped =
+        options_.response_ring->dropped() - ring_dropped_at_start_;
+  }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time_)

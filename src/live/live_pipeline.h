@@ -19,6 +19,41 @@
 
 namespace dido {
 
+// Robustness counters of one live-pipeline run: what was shed, retried,
+// failed over and answered with an error.  Together with Stats::queries they
+// carry the exactly-once-response invariant: every admitted query retires
+// exactly once, so
+//   ingested_queries - shed_queries == Stats::queries
+// and the retired batches' response frames decode to exactly Stats::queries
+// records (minus whatever a bounded response ring dropped, which
+// responses_dropped counts).
+struct DegradationStats {
+  // Queries parsed by PP at ingress (before admission control).
+  uint64_t ingested_queries = 0;
+  // Frames whose record stream failed to decode; the frame's remainder is
+  // skipped, already-parsed records stay admitted.
+  uint64_t malformed_frames = 0;
+  // Batches (and the queries they carried) dropped by admission control
+  // because the first inter-stage queue stayed full past the timeout.
+  // Shed batches never touch the index or the heap.
+  uint64_t shed_batches = 0;
+  uint64_t shed_queries = 0;
+  // Transient-error re-attempts burned on the SET path (allocation retry
+  // rounds + IN.I kResourceBusy backoff retries).
+  uint64_t set_retries = 0;
+  // Queries answered with an explicit kError response record after their
+  // retry budget ran out.
+  uint64_t error_responses = 0;
+  // Watchdog transitions: healthy -> degraded (failover) and back.
+  uint64_t failovers = 0;
+  uint64_t repromotions = 0;
+  // Batches executed inline on the ingress thread under the degraded
+  // CPU-only configuration.
+  uint64_t degraded_batches = 0;
+  // Response frames lost to the (optional) bounded response ring.
+  uint64_t responses_dropped = 0;
+};
+
 // Wall-clock execution of a pipeline configuration with real OS threads.
 //
 // While the PipelineExecutor *simulates* APU timing around a single-threaded
@@ -29,6 +64,20 @@ namespace dido {
 // task implementations need no extra locking; cross-batch concurrency
 // exercises the same atomic index/heap paths as the coupled hardware.
 //
+// Graceful degradation (this is the part chaos tests exercise):
+//  - A watchdog thread samples per-stage heartbeats.  A stage that stays
+//    busy without a heartbeat for `stall_threshold_ms` triggers failover:
+//    the ingress thread stops feeding the stalled stage graph and executes
+//    batches inline under `degraded_config` (CPU-only, single stage).  Once
+//    every stage has been idle with empty queues for `repromote_dwell_ms`,
+//    the pipeline re-promotes to the configured topology.
+//  - Admission control: when the first inter-stage queue stays full past
+//    `admission_timeout_ms`, the freshly-parsed batch is shed *before* any
+//    of its queries touch the store, and counted.
+//  - Degradation never silently drops an admitted query: either the batch
+//    retires (each query answered, possibly with kError) or the whole batch
+//    is shed and counted.
+//
 // This mode is what `examples/live_server` runs; the simulator remains the
 // vehicle for the paper's figures (its timing is calibrated, deterministic
 // and hardware-independent).
@@ -38,6 +87,23 @@ class LivePipeline {
     uint64_t batch_queries = 2048;  // queries ingested per batch
     size_t queue_depth = 4;         // bounded inter-stage queue length
     bool keep_responses = false;    // retain response frames for inspection
+
+    // Watchdog / failover knobs.
+    bool watchdog = true;
+    uint64_t watchdog_interval_ms = 10;
+    uint64_t stall_threshold_ms = 500;
+    uint64_t repromote_dwell_ms = 100;
+    // Admission-control timeout for space in the first inter-stage queue;
+    // 0 blocks forever (no shedding).
+    uint64_t admission_timeout_ms = 500;
+    // Configuration the watchdog fails over to.
+    PipelineConfig degraded_config = PipelineConfig::CpuOnly();
+
+    // When set, retired batches' response frames are pushed to this bounded
+    // ring (simulating the TX ring SD feeds) instead of being retained via
+    // keep_responses; ring overflow is counted as responses_dropped.  Must
+    // outlive the pipeline.
+    FrameRing* response_ring = nullptr;
   };
 
   struct Stats {
@@ -48,6 +114,7 @@ class LivePipeline {
     uint64_t sets = 0;
     double wall_seconds = 0.0;
     double mops = 0.0;  // queries / wall time
+    DegradationStats degradation;
   };
 
   LivePipeline(KvRuntime* runtime, const PipelineConfig& config,
@@ -69,48 +136,85 @@ class LivePipeline {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  // True while the watchdog has the pipeline failed over to the degraded
+  // configuration.  Relaxed: a flag only; readers re-check, and every
+  // consequence of the transition flows through mutex-protected state.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
   // Snapshot of the retired-batch statistics.
   Stats Collect() const;
 
-  // Response frames of retired batches (only when keep_responses is set;
-  // call after Stop()).
+  // Response frames of retired batches (only when keep_responses is set
+  // and no response_ring is configured; call after Stop()).
   std::vector<Frame> TakeResponses();
 
  private:
   // Bounded MPMC queue of batches between adjacent stages.
   class BatchQueue {
    public:
+    enum class SpaceWait { kReady, kTimeout, kClosed };
+
     explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
 
     // Blocks while full; returns false if the queue was closed.
     bool Push(std::unique_ptr<QueryBatch> batch);
     // Blocks while empty; returns nullptr if closed and drained.
     std::unique_ptr<QueryBatch> Pop();
+    // Waits until the queue has room (kReady), the timeout elapses with the
+    // queue still full (kTimeout), or the queue closes (kClosed).  With a
+    // single producer, kReady guarantees the next Push will not block.
+    // timeout <= 0 waits indefinitely.
+    SpaceWait WaitForSpace(std::chrono::milliseconds timeout);
     void Close();
+    size_t size() const;
 
    private:
     size_t capacity_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_push_;
     std::condition_variable cv_pop_;
     std::deque<std::unique_ptr<QueryBatch>> queue_;
     bool closed_ = false;
   };
 
+  // Liveness signal of one stage thread, sampled by the watchdog.  All
+  // fields relaxed: monotone heartbeat + boolean busy flag feed a
+  // heuristic stall detector; a stale read only delays or hastens a
+  // failover decision by one watchdog tick, it cannot corrupt state.
+  struct StageHealth {
+    std::atomic<uint64_t> heartbeat{0};
+    std::atomic<bool> busy{false};
+  };
+
   void IngressLoop(TrafficSource* source);
   void StageLoop(size_t stage_index);
+  void WatchdogLoop();
+  // Runs every KV task of `stages` on the whole batch inline on the calling
+  // thread (RV/PP/SD excluded), in stage order.
+  void RunStagesInline(const std::vector<StageSpec>& stages,
+                       QueryBatch* batch);
+  // SD + retire + stats accounting shared by the last stage thread and the
+  // ingress thread's inline (single-stage / degraded) paths.
+  void RetireAndCount(QueryBatch* batch, bool degraded_inline);
 
   KvRuntime* runtime_;
   PipelineConfig config_;
   Options options_;
   std::vector<StageSpec> stages_;
+  std::vector<StageSpec> degraded_stages_;
 
   // Serializes Start/Stop so two threads cannot join the same std::thread
   // objects or tear queues_ down concurrently.
   std::mutex lifecycle_mu_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  // Watchdog-owned failover flag, read by the ingress thread each batch.
+  // Relaxed everywhere (see degraded()).
+  std::atomic<bool> degraded_{false};
   std::vector<std::unique_ptr<BatchQueue>> queues_;  // queues_[i] feeds stage i+1
+  std::vector<std::unique_ptr<StageHealth>> health_;  // health_[i] = stage i
   std::vector<std::thread> threads_;
   uint64_t sequence_ = 0;  // ingress thread only
 
@@ -120,6 +224,9 @@ class LivePipeline {
   Stats stats_;
   std::vector<Frame> responses_;
   std::chrono::steady_clock::time_point start_time_;
+  // response_ring->dropped() at Start, so Collect reports this run's drops
+  // even when the caller reuses one ring across runs.
+  uint64_t ring_dropped_at_start_ = 0;
 };
 
 }  // namespace dido

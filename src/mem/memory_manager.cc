@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "faults/fault_registry.h"
 #include "sync/epoch.h"
 
 namespace dido {
@@ -10,6 +11,13 @@ namespace dido {
 Result<KvObject*> MemoryManager::AllocateObject(
     std::string_view key, std::string_view value, uint32_t version,
     std::vector<SlabAllocator::EvictedObject>* evictions) {
+  FaultHit hit;
+  if (DIDO_FAULT_POINT_HIT("mem.alloc.oom", &hit)) {
+    // Injected exhaustion.  In epoch mode this reads as the retryable
+    // quarantine condition (exercising the caller's retry loop); a window-
+    // armed fault outlasting the retry budget drives the give-up path.
+    return Status::OutOfMemory("injected allocation failure");
+  }
   // Victims are collected through a local out-param and counted one by one:
   // with the MM task reachable from several stages at once, inferring the
   // count from a shared vector's size delta would race.

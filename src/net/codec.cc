@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "faults/fault_registry.h"
+
 namespace dido {
 namespace {
 
@@ -44,7 +46,22 @@ size_t EncodeRequest(QueryOp op, std::string_view key, std::string_view value,
   if (op == QueryOp::kSet) {
     buffer->insert(buffer->end(), value.begin(), value.end());
   }
-  return buffer->size() - before;
+  const size_t encoded = buffer->size() - before;
+  // Fault points (chaos builds only): mangle the just-encoded record so the
+  // decode side's hardening is exercised by realistic wire damage.
+  FaultHit hit;
+  if (encoded > 1 && DIDO_FAULT_POINT_HIT("codec.encode.truncate", &hit)) {
+    // Torn write: chop 1..encoded-1 bytes off the record's tail.
+    const size_t cut = 1 + static_cast<size_t>(hit.rand % (encoded - 1));
+    buffer->resize(buffer->size() - cut);
+    return encoded - cut;
+  }
+  if (DIDO_FAULT_POINT_HIT("codec.encode.corrupt", &hit)) {
+    // Single-bit corruption at a pseudo-random offset within the record.
+    (*buffer)[before + static_cast<size_t>(hit.rand % encoded)] ^=
+        static_cast<uint8_t>(1u << ((hit.rand >> 8) % 8));
+  }
+  return encoded;
 }
 
 size_t EncodeResponse(QueryOp op, ResponseStatus status, std::string_view key,
@@ -73,6 +90,9 @@ Status DecodeRequest(const uint8_t* data, size_t size, size_t* offset,
   const uint16_t key_len = ReadU16(p + 2);
   const uint32_t value_len = ReadU32(p + 4);
   if (key_len == 0) return Status::InvalidArgument("empty key");
+  if (value_len > kMaxRecordValueBytes) {
+    return Status::InvalidArgument("oversized record value");
+  }
   if (out->op != QueryOp::kSet && value_len != 0) {
     return Status::InvalidArgument("value on non-SET request");
   }
@@ -105,6 +125,9 @@ Status DecodeResponse(const uint8_t* data, size_t size, size_t* offset,
   out->status = static_cast<ResponseStatus>(p[1]);
   const uint16_t key_len = ReadU16(p + 2);
   const uint32_t value_len = ReadU32(p + 4);
+  if (value_len > kMaxRecordValueBytes) {
+    return Status::InvalidArgument("oversized record value");
+  }
   const size_t body = static_cast<size_t>(key_len) + value_len;
   if (*offset + kRecordHeaderBytes + body > size) {
     return Status::InvalidArgument("truncated response body");

@@ -24,6 +24,13 @@ namespace dido {
 constexpr size_t kRecordHeaderBytes = 8;
 constexpr size_t kMaxFramePayload = 1472;  // UDP over 1500-byte Ethernet MTU
 
+// Upper bound a decoder will accept for one record's declared value
+// length.  The value_len field is 32 bits, so a corrupted or hostile
+// header can claim gigabytes; records above this bound are rejected as
+// kInvalidArgument before any downstream allocation can act on the claim
+// (memcached's classic 1 MiB object cap).
+constexpr size_t kMaxRecordValueBytes = 1 << 20;
+
 enum class ResponseStatus : uint8_t {
   kOk = 0,
   kMiss = 1,

@@ -1,10 +1,29 @@
 #include "net/sim_nic.h"
 
+#include "faults/fault_registry.h"
+
 namespace dido {
 
 bool FrameRing::Push(Frame frame) {
+  FaultHit hit;
+  if (DIDO_FAULT_POINT_HIT("net.frame_ring.drop", &hit)) {
+    // Injected transport loss: the frame vanishes as if the wire ate it.
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped_ += 1;
+    return false;
+  }
+  const bool duplicate = DIDO_FAULT_POINT_HIT("net.frame_ring.duplicate", &hit);
   std::lock_guard<std::mutex> lock(mu_);
+  if (duplicate && frames_.size() + 1 < capacity_) {
+    frames_.push_back(frame);  // injected duplicate delivery (copy)
+  }
   if (frames_.size() >= capacity_) {
+    if (policy_ == OverflowPolicy::kDropOldest) {
+      frames_.pop_front();
+      dropped_ += 1;
+      frames_.push_back(std::move(frame));
+      return true;
+    }
     dropped_ += 1;
     return false;
   }

@@ -17,14 +17,31 @@ struct Frame {
   std::vector<uint8_t> payload;
 };
 
+// What FrameRing::Push does when the ring is full.
+enum class OverflowPolicy {
+  // Drop the incoming frame (tail drop) — the classic NIC behaviour.
+  kDropNewest,
+  // Evict the oldest queued frame to admit the new one — keeps responses
+  // fresh under overload at the cost of abandoning the stalest work.
+  kDropOldest,
+};
+
 // Bounded MPSC frame ring standing in for a NIC queue.  The RV task pops
 // receive frames from it; the SD task pushes response frames to it.
 class FrameRing {
  public:
-  explicit FrameRing(size_t capacity = 4096) : capacity_(capacity) {}
+  explicit FrameRing(size_t capacity = 4096,
+                     OverflowPolicy policy = OverflowPolicy::kDropNewest)
+      : capacity_(capacity), policy_(policy) {}
 
-  // Enqueues a frame; drops it (returns false) when the ring is full, which
-  // models NIC queue overflow under overload.
+  // Enqueues a frame.  On overflow the configured policy applies: under
+  // kDropNewest the incoming frame is dropped (returns false); under
+  // kDropOldest the oldest queued frame is evicted and the new one is
+  // admitted (returns true).  Either way dropped() counts the loss.
+  //
+  // Fault points (chaos builds only): "net.frame_ring.drop" silently loses
+  // the frame; "net.frame_ring.duplicate" enqueues it twice — the delivery
+  // faults a UDP transport is allowed to exhibit.
   bool Push(Frame frame);
 
   // Pops the oldest frame, or nullopt when empty.
@@ -34,10 +51,14 @@ class FrameRing {
   size_t PopBatch(size_t max_frames, std::vector<Frame>* out);
 
   size_t size() const;
+  // Frames lost to overflow (either policy) or to an injected drop fault.
   uint64_t dropped() const;
+
+  OverflowPolicy policy() const { return policy_; }
 
  private:
   size_t capacity_;
+  OverflowPolicy policy_;
   mutable std::mutex mu_;
   std::deque<Frame> frames_;
   uint64_t dropped_ = 0;

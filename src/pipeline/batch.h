@@ -62,6 +62,14 @@ struct BatchMeasurements {
   uint64_t deletes = 0;  // replacements + explicit deletes + evictions
   uint64_t evictions = 0;
   uint64_t failed_inserts = 0;
+  // Robustness counters (feed LivePipeline's DegradationStats):
+  // frames whose record stream failed to parse (PP skips the frame's
+  // remainder and continues), transient-error retries burned on the SET
+  // path (allocation + index insert), and queries answered with an
+  // explicit error response instead of being dropped.
+  uint64_t malformed_frames = 0;
+  uint64_t set_retries = 0;
+  uint64_t error_responses = 0;
   double sum_key_bytes = 0.0;
   double sum_value_bytes = 0.0;      // over SET payloads
   double sum_hit_value_bytes = 0.0;  // over GET-hit objects

@@ -1,6 +1,7 @@
 #include "pipeline/kv_runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/logging.h"
@@ -13,6 +14,11 @@ namespace {
 // readers starve reclamation for the whole window.
 constexpr int kMaxAllocationAttempts = 64;
 
+// Bound on IN.I re-attempts when the cuckoo index reports transient
+// contention (kResourceBusy).  Capacity exhaustion (kCapacityFull) is
+// terminal and never retried.
+constexpr int kMaxInsertRetries = 8;
+
 }  // namespace
 
 KvRuntime::KvRuntime(const Options& options)
@@ -23,9 +29,11 @@ KvRuntime::KvRuntime(const Options& options)
 
 Result<KvObject*> KvRuntime::AllocateWithEviction(
     std::string_view key, std::string_view value, uint32_t version,
-    std::vector<SlabAllocator::EvictedObject>* evictions) {
+    std::vector<SlabAllocator::EvictedObject>* evictions,
+    uint64_t* retries) {
   DIDO_CHECK(evictions != nullptr);
   for (int attempt = 0; attempt < kMaxAllocationAttempts; ++attempt) {
+    if (attempt > 0 && retries != nullptr) *retries += 1;
     const size_t first_new = evictions->size();
     Result<KvObject*> object =
         memory_->AllocateObject(key, value, version, evictions);
@@ -90,9 +98,17 @@ Status KvRuntime::RunPacketProcessing(QueryBatch* batch) {
     size_t offset = 0;
     while (offset < frame.payload.size()) {
       RequestView view;
-      DIDO_RETURN_IF_ERROR(DecodeRequest(frame.payload.data(),
-                                         frame.payload.size(), &offset,
-                                         &view));
+      const Status decoded = DecodeRequest(frame.payload.data(),
+                                           frame.payload.size(), &offset,
+                                           &view);
+      if (!decoded.ok()) {
+        // A malformed record poisons the rest of its frame (record
+        // boundaries are derived from the lengths just rejected), but not
+        // the batch: count the frame and move to the next one.  Records
+        // already parsed from this frame stay admitted.
+        m.malformed_frames += 1;
+        break;
+      }
       QueryRecord record;
       record.op = view.op;
       record.key = view.key;
@@ -122,13 +138,17 @@ void KvRuntime::RunMemoryManagement(QueryBatch* batch, size_t begin,
     Result<KvObject*> object = AllocateWithEviction(
         record.key, record.value,
         version_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
-        &record.evictions);
+        &record.evictions, &m.set_retries);
     // Each eviction's paired index Delete already ran inline (the unlink
     // must precede the victim's retirement); count it where the paper's
     // Figure 6 analysis expects it.
     m.deletes += record.evictions.size();
     if (!object.ok()) {
+      // Retry budget exhausted inside AllocateWithEviction: the SET is
+      // answered with an error response rather than dropped, and counted
+      // as a failed insert (it never reaches IN.I).
       record.status = ResponseStatus::kError;
+      m.failed_inserts += 1;
       continue;
     }
     record.object = *object;
@@ -160,7 +180,19 @@ void KvRuntime::RunIndexInsert(QueryBatch* batch, size_t begin, size_t end) {
     QueryRecord& record = batch->queries[i];
     if (record.op != QueryOp::kSet || record.object == nullptr) continue;
     KvObject* replaced = nullptr;
-    const Status status = index_->Insert(record.hash, record.object, &replaced);
+    Status status = index_->Insert(record.hash, record.object, &replaced);
+    // kResourceBusy is transient (a concurrent displacement path holds the
+    // buckets): retry with exponential backoff before declaring failure.
+    // kCapacityFull means displacement itself was exhausted — terminal.
+    for (int attempt = 0;
+         !status.ok() && status.code() == StatusCode::kResourceBusy &&
+         attempt < kMaxInsertRetries;
+         ++attempt) {
+      m.set_retries += 1;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(1u << std::min(attempt, 6)));
+      status = index_->Insert(record.hash, record.object, &replaced);
+    }
     if (!status.ok()) {
       // Never published, but it sat in the LRU list where a concurrent
       // eviction may have detached it — RetireObject arbitrates.
@@ -243,11 +275,13 @@ void KvRuntime::RunReadValue(QueryBatch* batch, size_t begin, size_t end) {
 }
 
 void KvRuntime::RunWriteResponse(QueryBatch* batch, size_t begin, size_t end) {
+  BatchMeasurements& m = batch->measurements;
   Frame current;
   for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
     QueryRecord& record = batch->queries[i];
     std::string_view value;
     ResponseStatus status = record.status;
+    if (status == ResponseStatus::kError) m.error_responses += 1;
     if (record.op == QueryOp::kGet && record.object != nullptr) {
       if (record.staged_len > 0) {
         value = std::string_view(

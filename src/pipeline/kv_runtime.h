@@ -117,11 +117,14 @@ class KvRuntime {
   // retries.  Bounded; on exhaustion returns kOutOfMemory (counted as a
   // failed allocation).  Victims are appended to `evictions` (required
   // non-null) for the caller's accounting; their index entries are already
-  // gone when this returns.  Must not be called while the calling thread
-  // holds an epoch pin — the reclaim it waits for could then never happen.
+  // gone when this returns.  When `retries` is non-null, every attempt
+  // beyond the first is counted into it (feeds DegradationStats).  Must not
+  // be called while the calling thread holds an epoch pin — the reclaim it
+  // waits for could then never happen.
   Result<KvObject*> AllocateWithEviction(
       std::string_view key, std::string_view value, uint32_t version,
-      std::vector<SlabAllocator::EvictedObject>* evictions);
+      std::vector<SlabAllocator::EvictedObject>* evictions,
+      uint64_t* retries = nullptr);
 
   std::unique_ptr<CuckooHashTable> index_;
   std::unique_ptr<MemoryManager> memory_;

@@ -29,6 +29,17 @@ PipelineConfig PipelineConfig::DidoDefault() {
   return config;
 }
 
+PipelineConfig PipelineConfig::CpuOnly() {
+  PipelineConfig config;
+  config.gpu_begin = 4;
+  config.gpu_end = 4;  // empty GPU stage => pure-CPU single stage
+  config.insert_device = Device::kCpu;
+  config.delete_device = Device::kCpu;
+  config.work_stealing = false;
+  config.static_cpu_assignment = false;
+  return config;
+}
+
 Device PipelineConfig::DeviceFor(TaskKind task) const {
   if (task == TaskKind::kInInsert) {
     return HasGpuStage() ? insert_device : Device::kCpu;

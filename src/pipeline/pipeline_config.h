@@ -53,6 +53,12 @@ struct PipelineConfig {
   // stealing enabled; the adaption controller re-plans from here).
   static PipelineConfig DidoDefault();
 
+  // Single-stage pure-CPU pipeline (gpu_begin == gpu_end, every task on the
+  // CPU).  The degraded fallback the live pipeline's watchdog switches to
+  // when a stage stalls: with one stage there is nothing downstream to
+  // stall behind.
+  static PipelineConfig CpuOnly();
+
   bool HasGpuStage() const { return gpu_end > gpu_begin; }
 
   // Processor that executes the given task under this configuration.

@@ -1,0 +1,186 @@
+// Chaos tests: drive the live pipeline with armed fault points (built only
+// when DIDO_FAULT_INJECTION is ON) and assert the graceful-degradation
+// contract — no crash, exactly one response per admitted query, watchdog
+// failover + re-promotion, and load shedding instead of unbounded blocking.
+//
+// The exactly-once invariant these tests pivot on:
+//   ingested_queries - shed_queries == Stats::queries
+//                                   == decoded response records
+// i.e. every query PP admitted either retires with exactly one response
+// record (possibly kError) or belongs to a shed batch that is counted and
+// never touched the store.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_registry.h"
+#include "live/live_pipeline.h"
+#include "net/codec.h"
+#include "net/sim_nic.h"
+#include "pipeline/kv_runtime.h"
+#include "workload/workload.h"
+
+#if !defined(DIDO_FAULT_INJECTION)
+#error "chaos_test.cc requires a DIDO_FAULT_INJECTION=ON build"
+#endif
+
+namespace dido {
+namespace {
+
+// Counts the response records across `frames`, failing the test on any
+// undecodable record (server-side encoding is never fault-injected).
+uint64_t CountResponseRecords(const std::vector<Frame>& frames) {
+  uint64_t records = 0;
+  for (const Frame& frame : frames) {
+    size_t offset = 0;
+    while (offset < frame.payload.size()) {
+      ResponseView view;
+      const Status status =
+          DecodeResponse(frame.payload.data(), frame.payload.size(), &offset,
+                         &view);
+      if (!status.ok()) {
+        ADD_FAILURE() << "undecodable response record: " << status.ToString();
+        return records;
+      }
+      ++records;
+    }
+  }
+  return records;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().DisarmAll(); }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(ChaosTest, ExactlyOnceUnderRandomFaultSchedule) {
+  KvRuntime::Options rt;
+  rt.slab.arena_bytes = 24 << 20;
+  rt.index.num_buckets = 1 << 15;
+  KvRuntime runtime(rt);
+  const WorkloadSpec workload =
+      MakeWorkload(DatasetK16(), 50, KeyDistribution::kZipf);
+  const uint64_t objects = runtime.Preload(workload.dataset, 100000);
+  ASSERT_GT(objects, 0u);
+  WorkloadGenerator generator(workload, objects, 31);
+  TrafficSource source(&generator);
+
+  // Arm after preload (the allocator fault would otherwise starve it).
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.ArmProbability("codec.encode.truncate", 0.002, 0.0, /*seed=*/101);
+  faults.ArmProbability("codec.encode.corrupt", 0.002, 0.0, /*seed=*/102);
+  faults.ArmProbability("mem.alloc.oom", 0.01, 0.0, /*seed=*/103);
+  faults.ArmProbability("index.insert.busy", 0.01, 0.0, /*seed=*/104);
+
+  LivePipeline::Options options;
+  options.batch_queries = 256;
+  options.keep_responses = true;
+  options.stall_threshold_ms = 2000;  // no failovers in this scenario
+  LivePipeline pipeline(&runtime, PipelineConfig::MegaKv(), options);
+  ASSERT_TRUE(pipeline.Start(&source).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  pipeline.Stop();
+  faults.DisarmAll();
+
+  const LivePipeline::Stats stats = pipeline.Collect();
+  const DegradationStats& d = stats.degradation;
+  ASSERT_GT(stats.queries, 0u);
+  // The fault schedule actually bit: wire damage reached PP and transient
+  // errors drove the retry paths.
+  EXPECT_GT(d.malformed_frames, 0u);
+  EXPECT_GT(d.set_retries, 0u);
+  // Exactly-once: admitted == retired == responded.
+  EXPECT_EQ(stats.queries, d.ingested_queries - d.shed_queries);
+  EXPECT_EQ(CountResponseRecords(pipeline.TakeResponses()), stats.queries);
+}
+
+TEST_F(ChaosTest, WatchdogFailsOverAndRecovers) {
+  KvRuntime::Options rt;
+  rt.slab.arena_bytes = 24 << 20;
+  rt.index.num_buckets = 1 << 15;
+  KvRuntime runtime(rt);
+  const WorkloadSpec workload =
+      MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf);
+  const uint64_t objects = runtime.Preload(workload.dataset, 100000);
+  ASSERT_GT(objects, 0u);
+  WorkloadGenerator generator(workload, objects, 33);
+  TrafficSource source(&generator);
+
+  // One stage thread wedges for 400 ms on its first batch; the watchdog
+  // must fail over well before that, serve degraded, and re-promote once
+  // the stall clears and the queues drain.
+  FaultRegistry::Global().ArmOneShot("live.stage.stall", /*param=*/400.0);
+
+  LivePipeline::Options options;
+  options.batch_queries = 128;
+  options.queue_depth = 2;
+  options.keep_responses = true;
+  options.watchdog_interval_ms = 5;
+  options.stall_threshold_ms = 100;
+  options.repromote_dwell_ms = 50;
+  options.admission_timeout_ms = 50;
+  LivePipeline pipeline(&runtime, PipelineConfig::MegaKv(), options);
+  ASSERT_TRUE(pipeline.Start(&source).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  pipeline.Stop();
+  FaultRegistry::Global().DisarmAll();
+
+  const LivePipeline::Stats stats = pipeline.Collect();
+  const DegradationStats& d = stats.degradation;
+  EXPECT_GE(d.failovers, 1u);
+  EXPECT_GE(d.repromotions, 1u);
+  EXPECT_GE(d.degraded_batches, 1u);
+  // Recovered: serving under the healthy configuration again.
+  EXPECT_FALSE(pipeline.degraded());
+  // Exactly-once held across the failover and re-promotion.
+  ASSERT_GT(stats.queries, 0u);
+  EXPECT_EQ(stats.queries, d.ingested_queries - d.shed_queries);
+  EXPECT_EQ(CountResponseRecords(pipeline.TakeResponses()), stats.queries);
+}
+
+TEST_F(ChaosTest, AdmissionControlShedsInsteadOfBlocking) {
+  KvRuntime::Options rt;
+  rt.slab.arena_bytes = 24 << 20;
+  rt.index.num_buckets = 1 << 15;
+  KvRuntime runtime(rt);
+  const WorkloadSpec workload =
+      MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf);
+  const uint64_t objects = runtime.Preload(workload.dataset, 100000);
+  ASSERT_GT(objects, 0u);
+  WorkloadGenerator generator(workload, objects, 35);
+  TrafficSource source(&generator);
+
+  // Every stage dawdles 30 ms per batch while ingress produces much
+  // faster: with a depth-1 queue and a 10 ms admission timeout the
+  // overload must surface as counted sheds, not as an ever-growing queue
+  // or a wedged ingress.  Watchdog off — this is the no-failover backstop.
+  FaultRegistry::Global().ArmAlways("live.stage.stall", /*param=*/30.0);
+
+  LivePipeline::Options options;
+  options.batch_queries = 64;
+  options.queue_depth = 1;
+  options.keep_responses = true;
+  options.watchdog = false;
+  options.admission_timeout_ms = 10;
+  LivePipeline pipeline(&runtime, PipelineConfig::MegaKv(), options);
+  ASSERT_TRUE(pipeline.Start(&source).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  pipeline.Stop();
+  FaultRegistry::Global().DisarmAll();
+
+  const LivePipeline::Stats stats = pipeline.Collect();
+  const DegradationStats& d = stats.degradation;
+  EXPECT_GE(d.shed_batches, 1u);
+  EXPECT_EQ(d.shed_queries > 0, d.shed_batches > 0);
+  ASSERT_GT(stats.queries, 0u);
+  EXPECT_EQ(stats.queries, d.ingested_queries - d.shed_queries);
+  EXPECT_EQ(CountResponseRecords(pipeline.TakeResponses()), stats.queries);
+}
+
+}  // namespace
+}  // namespace dido

@@ -1,0 +1,167 @@
+// FaultRegistry trigger-policy tests.  The registry class itself is
+// compiled in every configuration (only the DIDO_FAULT_POINT macros are
+// gated behind DIDO_FAULT_INJECTION), so these run in the plain build too.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_registry.h"
+
+namespace dido {
+namespace {
+
+// Each test uses its own registry instance: the Global() singleton is
+// shared process-wide and chaos builds arm it for real.
+TEST(FaultRegistryTest, UnarmedPointNeverFires) {
+  FaultRegistry registry;
+  EXPECT_FALSE(registry.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(registry.ShouldFire("some.point"));
+  }
+  // The fast path short-circuits before any per-point bookkeeping.
+  EXPECT_EQ(registry.evaluation_count("some.point"), 0u);
+  EXPECT_EQ(registry.fire_count("some.point"), 0u);
+}
+
+TEST(FaultRegistryTest, AlwaysFiresUntilDisarmed) {
+  FaultRegistry registry;
+  registry.ArmAlways("p", /*param=*/2.5);
+  EXPECT_TRUE(registry.armed());
+  FaultHit hit;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(registry.ShouldFire("p", &hit));
+    EXPECT_DOUBLE_EQ(hit.param, 2.5);
+  }
+  EXPECT_EQ(registry.fire_count("p"), 10u);
+  EXPECT_EQ(registry.evaluation_count("p"), 10u);
+  registry.Disarm("p");
+  EXPECT_FALSE(registry.ShouldFire("p"));
+  EXPECT_FALSE(registry.armed());
+}
+
+TEST(FaultRegistryTest, EveryNthFiresOnSchedule) {
+  FaultRegistry registry;
+  registry.ArmEveryNth("p", 3);
+  int fires = 0;
+  for (int i = 1; i <= 12; ++i) {
+    if (registry.ShouldFire("p")) {
+      ++fires;
+      EXPECT_EQ(i % 3, 0) << "fired off-schedule at evaluation " << i;
+    }
+  }
+  EXPECT_EQ(fires, 4);
+}
+
+TEST(FaultRegistryTest, OneShotFiresExactlyOnce) {
+  FaultRegistry registry;
+  registry.ArmOneShot("p", /*param=*/7.0);
+  int fires = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (registry.ShouldFire("p")) ++fires;
+  }
+  EXPECT_EQ(fires, 1);
+  // Re-arming resets the shot.
+  registry.ArmOneShot("p");
+  EXPECT_TRUE(registry.ShouldFire("p"));
+  EXPECT_FALSE(registry.ShouldFire("p"));
+}
+
+TEST(FaultRegistryTest, ProbabilityExtremesAndDeterminism) {
+  FaultRegistry registry;
+  registry.ArmProbability("never", 0.0, /*param=*/0.0, /*seed=*/11);
+  registry.ArmProbability("always", 1.0, /*param=*/0.0, /*seed=*/11);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(registry.ShouldFire("never"));
+    EXPECT_TRUE(registry.ShouldFire("always"));
+  }
+  // Same seed => same fire sequence (failures reproduce).
+  std::vector<bool> first, second;
+  FaultRegistry a, b;
+  a.ArmProbability("p", 0.5, 0.0, /*seed=*/1234);
+  b.ArmProbability("p", 0.5, 0.0, /*seed=*/1234);
+  for (int i = 0; i < 200; ++i) {
+    first.push_back(a.ShouldFire("p"));
+    second.push_back(b.ShouldFire("p"));
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_GT(a.fire_count("p"), 0u);
+  EXPECT_LT(a.fire_count("p"), 200u);
+}
+
+TEST(FaultRegistryTest, WindowExpires) {
+  FaultRegistry registry;
+  registry.ArmWindow("p", /*window_seconds=*/0.05);
+  EXPECT_TRUE(registry.ShouldFire("p"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // First evaluation past the window marks the point exhausted.
+  registry.ShouldFire("p");
+  EXPECT_FALSE(registry.ShouldFire("p"));
+  EXPECT_FALSE(registry.ShouldFire("p"));
+}
+
+TEST(FaultRegistryTest, HitCarriesPerPointRandomness) {
+  FaultRegistry registry;
+  registry.ArmAlways("p");
+  FaultHit h1, h2;
+  ASSERT_TRUE(registry.ShouldFire("p", &h1));
+  ASSERT_TRUE(registry.ShouldFire("p", &h2));
+  EXPECT_NE(h1.rand, h2.rand);  // xorshift sequence advances per fire
+}
+
+TEST(FaultRegistryTest, DisarmAllClearsEveryPoint) {
+  FaultRegistry registry;
+  registry.ArmAlways("a");
+  registry.ArmEveryNth("b", 2);
+  registry.ArmOneShot("c");
+  registry.DisarmAll();
+  EXPECT_FALSE(registry.armed());
+  EXPECT_FALSE(registry.ShouldFire("a"));
+  EXPECT_FALSE(registry.ShouldFire("b"));
+  EXPECT_FALSE(registry.ShouldFire("c"));
+}
+
+TEST(FaultRegistryTest, ConcurrentEvaluationIsSafe) {
+  FaultRegistry registry;
+  registry.ArmEveryNth("p", 5);
+  constexpr int kThreads = 8;
+  constexpr int kEvals = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      FaultHit hit;
+      for (int i = 0; i < kEvals; ++i) registry.ShouldFire("p", &hit);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.evaluation_count("p"),
+            static_cast<uint64_t>(kThreads) * kEvals);
+  EXPECT_EQ(registry.fire_count("p"),
+            static_cast<uint64_t>(kThreads) * kEvals / 5);
+}
+
+#if defined(DIDO_FAULT_INJECTION)
+TEST(FaultPointMacroTest, MacroRoutesThroughGlobalRegistry) {
+  FaultRegistry::Global().ArmOneShot("macro.test.point", /*param=*/3.0);
+  FaultHit hit;
+  EXPECT_TRUE(DIDO_FAULT_POINT_HIT("macro.test.point", &hit));
+  EXPECT_DOUBLE_EQ(hit.param, 3.0);
+  EXPECT_FALSE(DIDO_FAULT_POINT("macro.test.point"));
+  FaultRegistry::Global().Disarm("macro.test.point");
+}
+#else
+TEST(FaultPointMacroTest, MacroCompilesToFalseWhenInjectionIsOff) {
+  FaultRegistry::Global().ArmAlways("macro.test.point");
+  FaultHit hit;
+  // The macros are literal `false` in non-chaos builds — arming the global
+  // registry must not make production code paths fire.
+  EXPECT_FALSE(DIDO_FAULT_POINT("macro.test.point"));
+  EXPECT_FALSE(DIDO_FAULT_POINT_HIT("macro.test.point", &hit));
+  FaultRegistry::Global().Disarm("macro.test.point");
+}
+#endif
+
+}  // namespace
+}  // namespace dido

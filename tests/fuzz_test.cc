@@ -66,6 +66,84 @@ TEST_P(CodecFuzzTest, BitFlippedValidFramesNeverCrash) {
   }
 }
 
+TEST(CodecTest, TruncatedFramesParseCleanPrefixOnly) {
+  // Every possible truncation point of a valid multi-record frame: the
+  // decoder must accept the intact record prefix and reject the torn tail,
+  // never crashing or reading past the buffer.
+  std::vector<uint8_t> pristine;
+  EncodeRequest(QueryOp::kSet, "trunc-key-a", std::string(40, 'v'),
+                &pristine);
+  EncodeRequest(QueryOp::kGet, "trunc-key-b", "", &pristine);
+  EncodeRequest(QueryOp::kDelete, "trunc-key-c", "", &pristine);
+  for (size_t cut = 0; cut <= pristine.size(); ++cut) {
+    std::vector<uint8_t> buffer(pristine.begin(),
+                                pristine.begin() + static_cast<long>(cut));
+    size_t offset = 0;
+    size_t parsed = 0;
+    Status status = Status::Ok();
+    while (offset < buffer.size()) {
+      RequestView view;
+      status = DecodeRequest(buffer.data(), buffer.size(), &offset, &view);
+      if (!status.ok()) break;
+      ++parsed;
+      EXPECT_LE(offset, buffer.size());
+    }
+    if (cut == pristine.size()) {
+      EXPECT_TRUE(status.ok());
+      EXPECT_EQ(parsed, 3u);
+    } else {
+      // A strict prefix always tears the final record.
+      EXPECT_FALSE(status.ok() && offset == buffer.size() && parsed == 3);
+    }
+  }
+}
+
+TEST_P(CodecFuzzTest, CorruptedLengthFieldsNeverEscapeTheBuffer) {
+  // Target the length fields specifically (the dangerous bytes): any
+  // rewrite of key_len/value_len must yield either a clean in-bounds parse
+  // or a clean error.
+  Random rng(GetParam() + 47);
+  std::vector<uint8_t> pristine;
+  EncodeRequest(QueryOp::kSet, "len-fuzz-key", std::string(64, 'v'),
+                &pristine);
+  for (int round = 0; round < 4000; ++round) {
+    std::vector<uint8_t> buffer = pristine;
+    // Bytes 2..7 are key_len (u16) + value_len (u32).
+    buffer[2 + rng.NextBounded(6)] = static_cast<uint8_t>(rng.Next());
+    size_t offset = 0;
+    RequestView view;
+    if (DecodeRequest(buffer.data(), buffer.size(), &offset, &view).ok()) {
+      EXPECT_LE(offset, buffer.size());
+      EXPECT_LE(view.key.size() + view.value.size() + kRecordHeaderBytes,
+                buffer.size());
+    }
+  }
+}
+
+TEST(CodecTest, RejectsOversizedDeclaredValue) {
+  // A corrupted or hostile header may declare a multi-gigabyte value; the
+  // decoder must reject it as kInvalidArgument before anything downstream
+  // can act on the claim.
+  std::vector<uint8_t> buffer = {
+      static_cast<uint8_t>(QueryOp::kSet), 0,  // op, reserved
+      3, 0,                                    // key_len = 3
+      0, 0, 0, 0x7F,                           // value_len ~ 2 GiB
+      'k', 'e', 'y'};
+  size_t offset = 0;
+  RequestView request;
+  Status status =
+      DecodeRequest(buffer.data(), buffer.size(), &offset, &request);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  buffer[1] = 0;  // status kOk for the response flavour
+  offset = 0;
+  ResponseView response;
+  status = DecodeResponse(buffer.data(), buffer.size(), &offset, &response);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 

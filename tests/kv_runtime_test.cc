@@ -328,6 +328,57 @@ TEST(KvRuntimeTest, EvictionPathUnderMemoryPressure) {
   EXPECT_LE(runtime.live_objects(), objects + 10);
 }
 
+TEST(KvRuntimeTest, AllocationGiveUpPathPropagatesError) {
+  KvRuntime::Options options = SmallRuntime();
+  options.slab.arena_bytes = 1 << 20;  // tiny arena
+  KvRuntime runtime(options);
+  const uint64_t objects = runtime.Preload(DatasetK16(), 100000);
+  ASSERT_LT(objects, 100000u);  // arena filled before the target
+
+  // A pinned reader blocks every epoch advance, so victims detached by the
+  // allocation retry loop stay quarantined forever: the loop must exhaust
+  // its bounded budget and give up rather than spin.
+  EpochPin pin(runtime.epoch());
+
+  QueryBatch batch;
+  batch.config = PipelineConfig::MegaKv();
+  const std::string key = "giveup-key-0001";
+  const std::string value(64, 'x');
+  QueryRecord record;
+  record.op = QueryOp::kSet;
+  record.key = key;
+  record.value = value;
+  record.hash = CuckooHashTable::HashKey(key);
+  batch.queries.push_back(record);
+  batch.measurements.num_queries = 1;
+  batch.measurements.sets = 1;
+
+  runtime.RunMemoryManagement(&batch, 0, 1);
+  EXPECT_EQ(batch.queries[0].status, ResponseStatus::kError);
+  EXPECT_EQ(batch.queries[0].object, nullptr);
+  EXPECT_EQ(batch.measurements.failed_inserts, 1u);
+  EXPECT_GT(batch.measurements.set_retries, 0u);
+  EXPECT_GE(runtime.memory().counters().failed_allocations, 1u);
+
+  // WR still answers the query — with an explicit error record.
+  runtime.RunWriteResponse(&batch, 0, 1);
+  EXPECT_EQ(batch.measurements.error_responses, 1u);
+  ASSERT_EQ(batch.responses.size(), 1u);
+  size_t offset = 0;
+  ResponseView view;
+  ASSERT_TRUE(DecodeResponse(batch.responses[0].payload.data(),
+                             batch.responses[0].payload.size(), &offset, &view)
+                  .ok());
+  EXPECT_EQ(view.status, ResponseStatus::kError);
+  runtime.RetireBatch(&batch);
+
+  // Once the pin releases, reclamation resumes and allocation recovers.
+  pin.Release();
+  runtime.epoch().ReclaimAll();
+  EXPECT_TRUE(runtime.Put(key, value).ok());
+  EXPECT_EQ(*runtime.GetValue(key), value);
+}
+
 TEST(KvRuntimeTest, SamplingEpochFeedsFrequencies) {
   KvRuntime runtime(SmallRuntime());
   const uint64_t objects = runtime.Preload(DatasetK8(), 1000);

@@ -164,6 +164,30 @@ TEST(FrameRingTest, DropsWhenFull) {
   EXPECT_EQ(ring.dropped(), 1u);
 }
 
+TEST(FrameRingTest, DropOldestEvictsStalestFrame) {
+  FrameRing ring(2, OverflowPolicy::kDropOldest);
+  EXPECT_EQ(ring.policy(), OverflowPolicy::kDropOldest);
+  for (uint8_t i = 0; i < 4; ++i) {
+    Frame frame;
+    frame.payload = {i};
+    // Under drop-oldest the incoming frame is always admitted.
+    EXPECT_TRUE(ring.Push(std::move(frame)));
+  }
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.dropped(), 2u);  // frames 0 and 1 were evicted
+  auto first = ring.Pop();
+  auto second = ring.Pop();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->payload[0], 2);
+  EXPECT_EQ(second->payload[0], 3);
+}
+
+TEST(FrameRingTest, DefaultPolicyIsDropNewest) {
+  FrameRing ring(4);
+  EXPECT_EQ(ring.policy(), OverflowPolicy::kDropNewest);
+}
+
 TEST(FrameRingTest, PopBatchRespectsLimit) {
   FrameRing ring(16);
   for (int i = 0; i < 10; ++i) ring.Push(Frame{});

@@ -26,6 +26,8 @@ AUDITED_FILES = [
     "src/mem/kv_object.h",
     "src/sync/epoch.h",
     "src/sync/epoch.cc",
+    "src/faults/fault_registry.h",
+    "src/faults/fault_registry.cc",
 ]
 
 JUSTIFICATION_WINDOW = 10  # lines of lookback for a justifying comment

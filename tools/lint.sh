@@ -24,6 +24,8 @@ STATUS=0
 note() { printf '== %s\n' "$*"; }
 
 # ---------------------------------------------------------------- sources --
+# Git pathspec '*' crosses directory boundaries, so 'src/*.cc' covers every
+# subsystem including nested ones (src/faults/, ...).
 mapfile -t SOURCES < <(git ls-files 'src/*.cc' 'src/*.h' 'tests/*.cc' \
   'tools/*.cpp' 2>/dev/null)
 if [[ ${#SOURCES[@]} -eq 0 ]]; then
