@@ -36,6 +36,12 @@ int main() {
     std::printf("%-14s %12.2f %12.2f %+10.1f\n", workload.Name().c_str(),
                 measured.throughput_mops, predicted.throughput_mops,
                 100.0 * error);
+    bench::BenchRecord record;
+    record.name = "fig09_" + workload.Name();
+    record.mops = measured.throughput_mops;
+    record.extra = {{"predicted_mops", predicted.throughput_mops},
+                    {"error_pct", 100.0 * error}};
+    bench::WriteBenchJson(record);
     total_abs += std::fabs(error);
     max_abs = std::max(max_abs, std::fabs(error));
     ++count;

@@ -33,6 +33,12 @@ int main() {
     std::printf("%-14s %12.2f %12.2f %10.2f  %s\n", workload.Name().c_str(),
                 megakv.throughput_mops, dido.throughput_mops, speedup,
                 dido.config.ToString().c_str());
+    bench::BenchRecord record;
+    record.name = "fig11_" + workload.Name();
+    record.mops = dido.throughput_mops;
+    record.extra = {{"megakv_mops", megakv.throughput_mops},
+                    {"speedup", speedup}};
+    bench::WriteBenchJson(record);
     auto& d = by_dataset[workload.dataset.name];
     d.first += speedup;
     d.second += 1;

@@ -35,6 +35,15 @@ int main() {
       const double improvement =
           dido.throughput_mops / megakv.throughput_mops - 1.0;
       std::printf(" %13.1f%%", 100.0 * improvement);
+      bench::BenchRecord record;
+      record.name =
+          std::string("fig19_") + name + "_" +
+          std::to_string(static_cast<int>(budgets[i])) + "us";
+      record.mops = dido.throughput_mops;
+      record.extra = {{"megakv_mops", megakv.throughput_mops},
+                      {"improvement_pct", 100.0 * improvement},
+                      {"latency_cap_us", budgets[i]}};
+      bench::WriteBenchJson(record);
       sums[i] += improvement;
     }
     std::printf("\n");

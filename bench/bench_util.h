@@ -7,7 +7,9 @@
 // values alongside where applicable.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -55,6 +57,54 @@ inline ExperimentOptions DefaultExperiment() {
 inline int SetupBenchLogging() {
   SetMinLogSeverity(LogSeverity::kWarning);
   return 0;
+}
+
+// One machine-readable result record.  Every bench binary that prints a
+// human table also emits one BENCH_<name>.json per measured series so CI and
+// trend tooling can diff runs without scraping stdout.  p50/p99 are host
+// wall-clock latency percentiles where the bench actually measures a latency
+// distribution; benches that only produce simulated throughput leave them 0.
+struct BenchRecord {
+  std::string name;   // series id, e.g. "fig11_K16-G95-S"
+  double mops = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  // Additional scalar fields appended verbatim ("speedup", "error_pct", ...).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+// Directory the records go to: $DIDO_BENCH_JSON_DIR, defaulting to the
+// current working directory.  Set DIDO_BENCH_JSON_DIR=/dev/null to suppress.
+inline std::string BenchJsonDir() {
+  const char* dir = std::getenv("DIDO_BENCH_JSON_DIR");
+  return dir != nullptr && dir[0] != '\0' ? dir : ".";
+}
+
+// Writes BENCH_<sanitized name>.json; returns false on I/O failure (never
+// fatal — benches keep printing their tables regardless).
+inline bool WriteBenchJson(const BenchRecord& record) {
+  const std::string dir = BenchJsonDir();
+  if (dir == "/dev/null") return true;
+  std::string file_name = record.name;
+  for (char& c : file_name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!keep) c = '_';
+  }
+  const std::string path = dir + "/BENCH_" + file_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\"name\":\"%s\",\"mops\":%.6f,\"p50_us\":%.3f,"
+               "\"p99_us\":%.3f",
+               record.name.c_str(), record.mops, record.p50_us,
+               record.p99_us);
+  for (const auto& [key, value] : record.extra) {
+    std::fprintf(f, ",\"%s\":%.6f", key.c_str(), value);
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace bench

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dido {
 
@@ -58,6 +60,25 @@ uint64_t DidoStore::Preload(const DatasetSpec& dataset,
   return runtime_->Preload(dataset, target_objects);
 }
 
+void DidoStore::AttachObservability(obs::MetricsRegistry* metrics,
+                                    obs::TraceCollector* trace) {
+  runtime_->RegisterMetrics(metrics);
+  executor_->AttachObservability(metrics, trace);
+  if (metrics == nullptr) {
+    drift_.reset();
+    replans_counter_ = nullptr;
+    return;
+  }
+  replans_counter_ = metrics->GetCounter(
+      "dido_replans_total", "Cost-model re-planning passes executed");
+  obs::CostDriftTracker::Options drift_options;
+  drift_options.prefix = "dido_sim_costmodel";
+  // Raw comparison: both sides are simulated-APU microseconds (the paper's
+  // Fig. 9 prediction-error setting, evaluated continuously).
+  drift_options.normalize = false;
+  drift_ = std::make_unique<obs::CostDriftTracker>(metrics, drift_options);
+}
+
 void DidoStore::MaybeAdapt() {
   runtime_->set_sampling_epoch(profiler_.epoch());
   if (!options_.adaptive || !profiler_.ShouldReplan()) return;
@@ -73,6 +94,7 @@ void DidoStore::MaybeAdapt() {
   }
   profiler_.MarkPlanned();
   replan_count_ += 1;
+  if (replans_counter_ != nullptr) replans_counter_->Add();
 }
 
 BatchResult DidoStore::ServeBatch(TrafficSource& source,
@@ -80,6 +102,25 @@ BatchResult DidoStore::ServeBatch(TrafficSource& source,
                                   std::vector<Frame>* responses) {
   BatchResult result =
       executor_->RunBatch(config_, source, target_queries, responses);
+  if (drift_ != nullptr && !result.stages.empty()) {
+    // Model error with truthful workload inputs: predict the batch we just
+    // executed from its own measured profile, compare per-stage simulated
+    // times (both sides in simulated-APU microseconds).
+    const Prediction prediction = cost_model_.PredictAtBatchSize(
+        config_, result.measured_profile,
+        std::max<uint64_t>(1, result.batch_size));
+    if (prediction.stages.size() == result.stages.size()) {
+      std::vector<double> predicted_us;
+      std::vector<double> observed_us;
+      predicted_us.reserve(result.stages.size());
+      observed_us.reserve(result.stages.size());
+      for (size_t s = 0; s < result.stages.size(); ++s) {
+        predicted_us.push_back(prediction.stages[s].time_after_steal_us);
+        observed_us.push_back(result.stages[s].time_after_steal_us);
+      }
+      drift_->ObserveBatch(predicted_us, observed_us);
+    }
+  }
   profiler_.Observe(result.measured_profile, result.measurements);
   MaybeAdapt();
   return result;
@@ -109,6 +150,7 @@ const PipelineConfig& DidoStore::Replan(TrafficSource& source) {
   config_ = best.best.config;
   profiler_.MarkPlanned();
   replan_count_ += 1;
+  if (replans_counter_ != nullptr) replans_counter_->Add();
   options_.adaptive = was_adaptive;
   return config_;
 }

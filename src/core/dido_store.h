@@ -10,10 +10,15 @@
 #include "costmodel/config_search.h"
 #include "costmodel/cost_model.h"
 #include "costmodel/profiler.h"
+#include "obs/drift.h"
 #include "pipeline/kv_runtime.h"
 #include "pipeline/pipeline_executor.h"
 
 namespace dido {
+
+namespace obs {
+class TraceCollector;
+}
 
 // Construction options of a DidoStore.
 struct DidoOptions {
@@ -92,6 +97,15 @@ class DidoStore {
   const CostModel& cost_model() const { return cost_model_; }
   const DidoOptions& options() const { return options_; }
 
+  // Wires the whole store into the observability layer: the runtime's
+  // component collectors, the executor's dido_sim_* series and virtual-
+  // timeline spans, a dido_replans_total counter, and a raw-mode (µs vs µs)
+  // cost-model drift tracker under dido_sim_costmodel_* that compares each
+  // served batch's prediction to its simulated stage times.  `trace` may be
+  // null; `metrics` null detaches everything.
+  void AttachObservability(obs::MetricsRegistry* metrics,
+                           obs::TraceCollector* trace = nullptr);
+
  private:
   void MaybeAdapt();
 
@@ -103,6 +117,10 @@ class DidoStore {
   WorkloadProfiler profiler_;
   PipelineConfig config_;
   uint64_t replan_count_ = 0;
+
+  // Observability (see AttachObservability).
+  std::unique_ptr<obs::CostDriftTracker> drift_;
+  obs::Counter* replans_counter_ = nullptr;
 };
 
 // Derives KvRuntime options (slab + index sizing) from store options.

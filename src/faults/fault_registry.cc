@@ -1,5 +1,9 @@
 #include "faults/fault_registry.h"
 
+#include <cstdio>
+
+#include "obs/metrics.h"
+
 namespace dido {
 
 FaultRegistry& FaultRegistry::Global() {
@@ -153,6 +157,42 @@ uint64_t FaultRegistry::evaluation_count(std::string_view point) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   return it != points_.end() ? it->second.evaluations : 0;
+}
+
+std::vector<FaultRegistry::PointCounts> FaultRegistry::SnapshotCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PointCounts> out;
+  out.reserve(points_.size());
+  for (const auto& [point, state] : points_) {
+    out.push_back(PointCounts{point, state.fires, state.evaluations});
+  }
+  return out;
+}
+
+FaultRegistry::~FaultRegistry() { RegisterMetrics(nullptr); }
+
+void FaultRegistry::RegisterMetrics(obs::MetricsRegistry* registry) {
+  // One collector per FaultRegistry instance; the id embeds the address so
+  // tests with local registries never collide with the global one.
+  char id[64];
+  std::snprintf(id, sizeof(id), "fault_registry:%p",
+                static_cast<const void*>(this));
+  if (metrics_registry_ != nullptr && metrics_registry_ != registry) {
+    metrics_registry_->UnregisterCollector(id);
+  }
+  metrics_registry_ = registry;
+  if (registry == nullptr) return;
+  registry->RegisterCollector(id, [this](std::vector<obs::Sample>* samples) {
+    for (const PointCounts& counts : SnapshotCounts()) {
+      samples->push_back(obs::Sample{
+          obs::MetricName("dido_fault_fires_total", {{"point", counts.point}}),
+          static_cast<double>(counts.fires), /*monotone=*/true});
+      samples->push_back(obs::Sample{
+          obs::MetricName("dido_fault_evaluations_total",
+                          {{"point", counts.point}}),
+          static_cast<double>(counts.evaluations), /*monotone=*/true});
+    }
+  });
 }
 
 }  // namespace dido

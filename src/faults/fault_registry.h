@@ -8,8 +8,13 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace dido {
+
+namespace obs {
+class MetricsRegistry;
+}
 
 // Fault-injection registry: named fault points compiled into the store's
 // hot paths (frame ring, codec, allocator, index, live stage workers) that
@@ -63,6 +68,7 @@ class FaultRegistry {
   static FaultRegistry& Global();
 
   FaultRegistry() = default;
+  ~FaultRegistry();
   FaultRegistry(const FaultRegistry&) = delete;
   FaultRegistry& operator=(const FaultRegistry&) = delete;
 
@@ -91,6 +97,20 @@ class FaultRegistry {
   uint64_t fire_count(std::string_view point) const;
   uint64_t evaluation_count(std::string_view point) const;
 
+  // (point, fires, evaluations) snapshot of every armed-or-ever-armed point.
+  struct PointCounts {
+    std::string point;
+    uint64_t fires = 0;
+    uint64_t evaluations = 0;
+  };
+  std::vector<PointCounts> SnapshotCounts() const;
+
+  // Publishes per-point trip counts into `registry` as the collector-backed
+  // series dido_fault_fires_total{point="..."} and
+  // dido_fault_evaluations_total{point="..."}.  The registration is undone
+  // on destruction (or by registering against nullptr).
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
   // True when at least one point is armed.
   bool armed() const {
     return armed_points_.load(std::memory_order_acquire) > 0;
@@ -114,6 +134,9 @@ class FaultRegistry {
   mutable std::mutex mu_;
   // std::less<> enables string_view lookups without a temporary string.
   std::map<std::string, PointState, std::less<>> points_;
+  // Metrics registry this instance registered a collector with (see
+  // RegisterMetrics); cleared on destruction.
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
   // Fast-path gate: number of armed points.  Non-relaxed (acquire/release)
   // so a ShouldFire that observes >0 also observes the map insertion made
   // before the count was bumped... which the mutex re-checks anyway; the

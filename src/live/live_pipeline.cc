@@ -1,12 +1,58 @@
 #include "live/live_pipeline.h"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
+#include "costmodel/cost_model.h"
 #include "faults/fault_registry.h"
+#include "obs/drift.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/pipeline_executor.h"
+#include "sim/device_spec.h"
 #include "sync/epoch.h"
 
 namespace dido {
+namespace {
+
+// Null-tolerant recording shims: every metric handle is null when no
+// registry is configured, and recording must then cost one branch.
+inline void Bump(obs::Counter* counter, uint64_t n = 1) {
+  if (counter != nullptr) counter->Add(n);
+}
+inline void Observe(obs::AtomicHistogram* histogram, double value) {
+  if (histogram != nullptr) histogram->Record(value);
+}
+inline void Publish(obs::Gauge* gauge, double value) {
+  if (gauge != nullptr) gauge->Set(value);
+}
+
+inline double MicrosBetween(std::chrono::steady_clock::time_point from,
+                            std::chrono::steady_clock::time_point to) {
+  return std::max(0.0,
+                  std::chrono::duration<double, std::micro>(to - from).count());
+}
+
+// Emits a completed span ending "now" with duration `dur_us`.
+void TraceComplete(obs::TraceCollector* trace, std::string name,
+                   std::string category, uint64_t start_ts_us, uint32_t tid,
+                   std::string args_json = "") {
+  if (trace == nullptr || !trace->enabled()) return;
+  obs::TraceSpan span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  const uint64_t now = trace->NowMicros();
+  span.ts_us = std::min(start_ts_us, now);
+  span.dur_us = now - span.ts_us;
+  span.tid = tid;
+  span.args_json = std::move(args_json);
+  trace->AddSpan(std::move(span));
+}
+
+}  // namespace
 
 bool LivePipeline::BatchQueue::Push(std::unique_ptr<QueryBatch> batch) {
   std::unique_lock<std::mutex> lock(mu_);
@@ -60,9 +106,91 @@ LivePipeline::LivePipeline(KvRuntime* runtime, const PipelineConfig& config,
       << options.degraded_config.ToString();
   stages_ = config_.Stages(4);
   degraded_stages_ = options_.degraded_config.Stages(4);
+  SetupObservability();
 }
 
 LivePipeline::~LivePipeline() { Stop(); }
+
+void LivePipeline::SetupObservability() {
+  obs::MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) return;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const std::string stage = std::to_string(i);
+    const std::string device(DeviceName(stages_[i].device));
+    StageMetrics sm;
+    sm.execute_us = reg->GetHistogram(
+        obs::MetricName("dido_live_stage_execute_us",
+                        {{"stage", stage}, {"device", device}}),
+        "Wall microseconds a stage spent executing one batch");
+    sm.queue_wait_us = reg->GetHistogram(
+        obs::MetricName("dido_live_stage_queue_wait_us",
+                        {{"stage", stage}, {"device", device}}),
+        "Wall microseconds a batch waited to enter the stage");
+    sm.batches = reg->GetCounter(
+        obs::MetricName("dido_live_stage_batches_total",
+                        {{"stage", stage}, {"device", device}}),
+        "Batches executed by the stage");
+    stage_metrics_.push_back(sm);
+    if (i >= 1) {
+      queue_depth_gauges_.push_back(reg->GetGauge(
+          obs::MetricName("dido_live_queue_depth",
+                          {{"queue", std::to_string(i - 1)}}),
+          "Batches queued in front of stage i+1 (watchdog-sampled)"));
+    }
+  }
+  degraded_execute_us_ =
+      reg->GetHistogram("dido_live_degraded_execute_us",
+                        "Wall microseconds per degraded inline batch");
+  batches_retired_counter_ =
+      reg->GetCounter("dido_live_batches_total", "Batches retired");
+  queries_retired_counter_ =
+      reg->GetCounter("dido_live_queries_total", "Queries retired");
+  ingested_queries_counter_ = reg->GetCounter(
+      "dido_live_ingested_queries_total", "Queries parsed at ingress");
+  malformed_frames_counter_ = reg->GetCounter(
+      "dido_live_malformed_frames_total", "Frames with undecodable records");
+  shed_batches_counter_ = reg->GetCounter(
+      "dido_live_shed_batches_total", "Batches shed by admission control");
+  shed_queries_counter_ = reg->GetCounter(
+      "dido_live_shed_queries_total", "Queries shed by admission control");
+  set_retries_counter_ = reg->GetCounter(
+      "dido_live_set_retries_total", "Transient-error SET retries");
+  error_responses_counter_ = reg->GetCounter(
+      "dido_live_error_responses_total", "Queries answered with kError");
+  failovers_counter_ = reg->GetCounter(
+      "dido_live_failovers_total", "Watchdog healthy -> degraded transitions");
+  repromotions_counter_ = reg->GetCounter(
+      "dido_live_repromotions_total", "Watchdog degraded -> healthy returns");
+  degraded_batches_counter_ = reg->GetCounter(
+      "dido_live_degraded_batches_total", "Batches run inline while degraded");
+  degraded_gauge_ =
+      reg->GetGauge("dido_live_degraded", "1 while failed over, else 0");
+  if (options_.cost_model != nullptr) {
+    obs::CostDriftTracker::Options drift_options;
+    drift_options.normalize = true;  // simulated-APU pred vs host wall obs
+    drift_options.prefix = "dido_live_costmodel";
+    drift_ = std::make_unique<obs::CostDriftTracker>(reg, drift_options);
+  }
+}
+
+void LivePipeline::ObserveDrift(const QueryBatch& batch) {
+  if (drift_ == nullptr || options_.cost_model == nullptr) return;
+  const BatchObs& observed = batch.obs;
+  if (observed.num_stages == 0 || batch.measurements.num_queries == 0) return;
+  const Prediction prediction = options_.cost_model->PredictAtBatchSize(
+      batch.config, ProfileFromBatch(batch, *runtime_),
+      batch.measurements.num_queries);
+  if (prediction.stages.size() != observed.num_stages) return;
+  std::vector<double> predicted_us;
+  std::vector<double> observed_us;
+  predicted_us.reserve(observed.num_stages);
+  observed_us.reserve(observed.num_stages);
+  for (size_t i = 0; i < observed.num_stages; ++i) {
+    predicted_us.push_back(prediction.stages[i].time_after_steal_us);
+    observed_us.push_back(observed.stage_execute_us[i]);
+  }
+  drift_->ObserveBatch(predicted_us, observed_us);
+}
 
 Status LivePipeline::Start(TrafficSource* source) {
   std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
@@ -147,6 +275,14 @@ void LivePipeline::RetireAndCount(QueryBatch* batch, bool degraded_inline) {
     }
   }
   const BatchMeasurements& m = batch->measurements;
+  // Metrics + drift before taking stats_mu_: the drift prediction runs the
+  // full cost model and must not extend the stats critical section.
+  Bump(batches_retired_counter_);
+  Bump(queries_retired_counter_, m.num_queries);
+  Bump(set_retries_counter_, m.set_retries);
+  Bump(error_responses_counter_, m.error_responses);
+  if (degraded_inline) Bump(degraded_batches_counter_);
+  ObserveDrift(*batch);
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.batches += 1;
   stats_.queries += m.num_queries;
@@ -164,13 +300,18 @@ void LivePipeline::RetireAndCount(QueryBatch* batch, bool degraded_inline) {
 }
 
 void LivePipeline::IngressLoop(TrafficSource* source) {
+  using Clock = std::chrono::steady_clock;
   ScopedEpochParticipant epoch_participant(runtime_->epoch());
+  obs::TraceCollector* trace = options_.trace;
   const std::chrono::milliseconds admission_timeout(
       static_cast<int64_t>(options_.admission_timeout_ms));
   while (!stop_requested_.load(std::memory_order_acquire)) {
     auto batch = std::make_unique<QueryBatch>();
     batch->sequence = ++sequence_;
     batch->config = config_;
+    const Clock::time_point ingest_start = Clock::now();
+    const uint64_t trace_start =
+        trace != nullptr && trace->enabled() ? trace->NowMicros() : 0;
 
     // RV: ingest frames until the batch is full.
     uint64_t queries = 0;
@@ -185,6 +326,8 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
       DIDO_LOG(Error) << "packet processing failed: " << status.ToString();
       break;
     }
+    Bump(ingested_queries_counter_, batch->measurements.num_queries);
+    Bump(malformed_frames_counter_, batch->measurements.malformed_frames);
     {
       // Admission accounting happens here, once per parsed batch, whether
       // the batch is later shed or retired — the two sides of the
@@ -201,6 +344,14 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
       // CPU-only configuration, bypassing the stalled stage graph.
       batch->config = options_.degraded_config;
       RunStagesInline(degraded_stages_, batch.get());
+      // The whole degraded chain is one inline "stage" for drift purposes.
+      batch->obs.num_stages = 1;
+      batch->obs.stage_execute_us[0] =
+          MicrosBetween(ingest_start, Clock::now());
+      Observe(degraded_execute_us_, batch->obs.stage_execute_us[0]);
+      TraceComplete(trace, "degraded_inline", "stage", trace_start, 0,
+                    "\"device\":\"CPU\",\"queries\":" +
+                        std::to_string(batch->measurements.num_queries));
       RetireAndCount(batch.get(), /*degraded_inline=*/true);
       continue;
     }
@@ -208,6 +359,16 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
     if (queues_.empty()) {
       // Single-stage pipeline: the one stage runs inline, retire inline.
       RunStagesInline(stages_, batch.get());
+      batch->obs.num_stages = 1;
+      batch->obs.stage_execute_us[0] =
+          MicrosBetween(ingest_start, Clock::now());
+      if (!stage_metrics_.empty()) {
+        Observe(stage_metrics_[0].execute_us, batch->obs.stage_execute_us[0]);
+        Bump(stage_metrics_[0].batches);
+      }
+      TraceComplete(trace, "stage0", "stage", trace_start, 0,
+                    "\"device\":\"CPU\",\"queries\":" +
+                        std::to_string(batch->measurements.num_queries));
       RetireAndCount(batch.get(), /*degraded_inline=*/false);
       continue;
     }
@@ -215,15 +376,31 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
     // Admission control *before* any stage-0 KV task: a shed batch must
     // never have touched the index or the heap.  The ingress thread is the
     // only producer of queues_[0], so kReady means the Push below cannot
-    // block.
+    // block.  The wait is stage 0's queue-wait component.
+    const Clock::time_point admission_start = Clock::now();
+    const uint64_t admission_trace_start =
+        trace != nullptr && trace->enabled() ? trace->NowMicros() : 0;
     const BatchQueue::SpaceWait wait =
         queues_[0]->WaitForSpace(admission_timeout);
     if (wait == BatchQueue::SpaceWait::kClosed) break;
     if (wait == BatchQueue::SpaceWait::kTimeout) {
+      Bump(shed_batches_counter_);
+      Bump(shed_queries_counter_, batch->measurements.num_queries);
+      TraceComplete(trace, "shed", "queue", admission_trace_start, 0);
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.degradation.shed_batches += 1;
       stats_.degradation.shed_queries += batch->measurements.num_queries;
       continue;
+    }
+    const double admission_wait_us =
+        MicrosBetween(admission_start, Clock::now());
+    batch->obs.stage_queue_wait_us[0] = admission_wait_us;
+    if (!stage_metrics_.empty()) {
+      Observe(stage_metrics_[0].queue_wait_us, admission_wait_us);
+    }
+    if (admission_wait_us >= 1.0) {
+      TraceComplete(trace, "admission_wait", "queue", admission_trace_start,
+                    0);
     }
 
     // Stage-0 tasks.
@@ -232,14 +409,32 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
           task == TaskKind::kSd) {
         continue;
       }
+      const uint64_t task_trace_start =
+          trace != nullptr && trace->enabled() ? trace->NowMicros() : 0;
       runtime_->RunRangeTask(task, batch.get(), 0, batch->size());
+      TraceComplete(trace, std::string(TaskKindName(task)), "task",
+                    task_trace_start, 0, "\"device\":\"CPU\"");
     }
+    // Stage 0 execute = RV + PP + its KV tasks, exclusive of the admission
+    // wait measured above.
+    batch->obs.num_stages = stages_.size();
+    batch->obs.stage_execute_us[0] =
+        MicrosBetween(ingest_start, Clock::now()) - admission_wait_us;
+    if (!stage_metrics_.empty()) {
+      Observe(stage_metrics_[0].execute_us, batch->obs.stage_execute_us[0]);
+      Bump(stage_metrics_[0].batches);
+    }
+    TraceComplete(trace, "stage0", "stage", trace_start, 0,
+                  "\"device\":\"CPU\",\"queries\":" +
+                      std::to_string(batch->measurements.num_queries));
+    batch->obs.enqueued_at = Clock::now();
     if (!queues_[0]->Push(std::move(batch))) break;
   }
   if (!queues_.empty()) queues_[0]->Close();
 }
 
 void LivePipeline::StageLoop(size_t stage_index) {
+  using Clock = std::chrono::steady_clock;
   // Stage threads are epoch participants: everything the pipeline unlinks
   // (evicted, replaced, deleted objects) flows through EpochManager::
   // Retire, and each batch's candidate pointers are protected by the
@@ -250,6 +445,10 @@ void LivePipeline::StageLoop(size_t stage_index) {
       stage_index < stages_.size() - 1 ? queues_[stage_index].get() : nullptr;
   const bool is_last = out == nullptr;
   StageHealth& health = *health_[stage_index];
+  obs::TraceCollector* trace = options_.trace;
+  const uint32_t lane = static_cast<uint32_t>(stage_index);
+  const std::string device(DeviceName(stages_[stage_index].device));
+  const std::string device_args = "\"device\":" + obs::TraceJsonString(device);
 
   for (;;) {
     std::unique_ptr<QueryBatch> batch = in.Pop();
@@ -257,6 +456,32 @@ void LivePipeline::StageLoop(size_t stage_index) {
     // Relaxed: watchdog liveness signals, see StageHealth.
     health.busy.store(true, std::memory_order_relaxed);
     health.heartbeat.fetch_add(1, std::memory_order_relaxed);
+
+    // Queue wait: time between the producer's hand-off and this pop.
+    const Clock::time_point execute_start = Clock::now();
+    const uint64_t stage_trace_start =
+        trace != nullptr && trace->enabled() ? trace->NowMicros() : 0;
+    const double queue_wait_us =
+        batch->obs.enqueued_at == Clock::time_point{}
+            ? 0.0
+            : MicrosBetween(batch->obs.enqueued_at, execute_start);
+    if (stage_index < BatchObs::kMaxStages) {
+      batch->obs.stage_queue_wait_us[stage_index] = queue_wait_us;
+    }
+    Observe(stage_metrics_.empty() ? nullptr
+                                   : stage_metrics_[stage_index].queue_wait_us,
+            queue_wait_us);
+    if (trace != nullptr && trace->enabled()) {
+      obs::TraceSpan span;
+      span.name = "queue_wait";
+      span.category = "queue";
+      span.dur_us = static_cast<uint64_t>(queue_wait_us);
+      span.ts_us = stage_trace_start > span.dur_us
+                       ? stage_trace_start - span.dur_us
+                       : 0;
+      span.tid = lane;
+      trace->AddSpan(std::move(span));
+    }
 
     FaultHit hit;
     if (DIDO_FAULT_POINT_HIT("live.stage.stall", &hit)) {
@@ -272,12 +497,30 @@ void LivePipeline::StageLoop(size_t stage_index) {
           task == TaskKind::kSd) {
         continue;  // SD is the final hand-off below
       }
+      const uint64_t task_trace_start =
+          trace != nullptr && trace->enabled() ? trace->NowMicros() : 0;
       runtime_->RunRangeTask(task, batch.get(), 0, batch->size());
+      TraceComplete(trace, std::string(TaskKindName(task)), "task",
+                    task_trace_start, lane, device_args);
       // Relaxed: watchdog liveness signal, see StageHealth.
       health.heartbeat.fetch_add(1, std::memory_order_relaxed);
     }
 
+    const double execute_us = MicrosBetween(execute_start, Clock::now());
+    if (stage_index < BatchObs::kMaxStages) {
+      batch->obs.stage_execute_us[stage_index] = execute_us;
+    }
+    if (!stage_metrics_.empty()) {
+      Observe(stage_metrics_[stage_index].execute_us, execute_us);
+      Bump(stage_metrics_[stage_index].batches);
+    }
+    TraceComplete(trace, "stage" + std::to_string(stage_index), "stage",
+                  stage_trace_start, lane,
+                  device_args + ",\"queries\":" +
+                      std::to_string(batch->measurements.num_queries));
+
     if (!is_last) {
+      batch->obs.enqueued_at = Clock::now();
       const bool pushed = out->Push(std::move(batch));
       // Relaxed: watchdog liveness signal, see StageHealth.
       health.busy.store(false, std::memory_order_relaxed);
@@ -307,6 +550,9 @@ void LivePipeline::WatchdogLoop() {
   std::vector<Clock::time_point> last_change(stages_.size(), Clock::now());
   Clock::time_point healthy_since = Clock::now();
   bool was_quiet = false;
+  obs::TraceCollector* trace = options_.trace;
+  // Watchdog events get their own trace lane above the stage lanes.
+  const uint32_t watchdog_lane = static_cast<uint32_t>(stages_.size());
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(interval);
@@ -318,8 +564,12 @@ void LivePipeline::WatchdogLoop() {
       StageHealth& health = *health_[s];
       // Relaxed loads: watchdog liveness signals, see StageHealth.
       const uint64_t beat = health.heartbeat.load(std::memory_order_relaxed);
-      const bool busy = health.busy.load(std::memory_order_relaxed) ||
-                        queues_[s - 1]->size() > 0;
+      const size_t depth = queues_[s - 1]->size();
+      if (s - 1 < queue_depth_gauges_.size()) {
+        Publish(queue_depth_gauges_[s - 1], static_cast<double>(depth));
+      }
+      const bool busy =
+          health.busy.load(std::memory_order_relaxed) || depth > 0;
       if (busy) all_quiet = false;
       if (beat != last_beat[s]) {
         last_beat[s] = beat;
@@ -338,11 +588,16 @@ void LivePipeline::WatchdogLoop() {
     // Relaxed flag either way; the counters below are mutex-protected.
     if (any_stalled && !degraded_.load(std::memory_order_relaxed)) {
       degraded_.store(true, std::memory_order_relaxed);
+      Bump(failovers_counter_);
+      Publish(degraded_gauge_, 1.0);
+      TraceComplete(trace, "failover", "watchdog",
+                    trace != nullptr ? trace->NowMicros() : 0, watchdog_lane);
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.degradation.failovers += 1;
       continue;
     }
 
+    // Relaxed: failover flag, see degraded().
     if (degraded_.load(std::memory_order_relaxed)) {
       // Re-promote once the stage graph has been drained and idle for the
       // dwell window (the stall was transient and everything queued behind
@@ -367,6 +622,11 @@ void LivePipeline::WatchdogLoop() {
           last_change[s] = now;
         }
         was_quiet = false;
+        Bump(repromotions_counter_);
+        Publish(degraded_gauge_, 0.0);
+        TraceComplete(trace, "repromote", "watchdog",
+                      trace != nullptr ? trace->NowMicros() : 0,
+                      watchdog_lane);
         std::lock_guard<std::mutex> lock(stats_mu_);
         stats_.degradation.repromotions += 1;
       }

@@ -19,6 +19,17 @@
 
 namespace dido {
 
+class CostModel;
+
+namespace obs {
+class AtomicHistogram;
+class CostDriftTracker;
+class Counter;
+class Gauge;
+class MetricsRegistry;
+class TraceCollector;
+}  // namespace obs
+
 // Robustness counters of one live-pipeline run: what was shed, retried,
 // failed over and answered with an error.  Together with Stats::queries they
 // carry the exactly-once-response invariant: every admitted query retires
@@ -104,6 +115,23 @@ class LivePipeline {
     // keep_responses; ring overflow is counted as responses_dropped.  Must
     // outlive the pipeline.
     FrameRing* response_ring = nullptr;
+
+    // --- observability (all optional; targets must outlive the pipeline) ---
+
+    // Publishes per-stage latency histograms (execute / queue-wait wall
+    // microseconds), batch and degradation counters, the degraded flag and
+    // queue-depth gauges under the dido_live_* metric prefix.
+    obs::MetricsRegistry* metrics = nullptr;
+    // Records one span per stage execution, per KV task and per queue wait
+    // (Chrome trace_event lanes: tid = stage index, watchdog = num_stages).
+    obs::TraceCollector* trace = nullptr;
+    // With both `metrics` and `cost_model` set, every retired batch is
+    // compared against the model's per-stage prediction and exported as
+    // dido_live_costmodel_* drift gauges.  Normalized comparison: the model
+    // predicts simulated-APU microseconds while the live pipeline observes
+    // host wall time, so the tracker scale-fits before differencing (the
+    // residual error is the stage-time *shape* the planner ranks cuts by).
+    const CostModel* cost_model = nullptr;
   };
 
   struct Stats {
@@ -188,6 +216,15 @@ class LivePipeline {
     std::atomic<bool> busy{false};
   };
 
+  // Resolves metric handles (stage histograms, degradation counters,
+  // gauges) from options_.metrics and builds the drift tracker.  Handles
+  // stay null when no registry is configured; every recording site guards.
+  void SetupObservability();
+  // Compares the batch's observed per-stage wall times against the cost
+  // model's prediction for the batch's own configuration and profile.
+  // Called outside stats_mu_ (prediction is comparatively expensive).
+  void ObserveDrift(const QueryBatch& batch);
+
   void IngressLoop(TrafficSource* source);
   void StageLoop(size_t stage_index);
   void WatchdogLoop();
@@ -227,6 +264,30 @@ class LivePipeline {
   // response_ring->dropped() at Start, so Collect reports this run's drops
   // even when the caller reuses one ring across runs.
   uint64_t ring_dropped_at_start_ = 0;
+
+  // --- observability handles (resolved once in SetupObservability; all
+  // null when options_.metrics is null) ---
+  struct StageMetrics {
+    obs::AtomicHistogram* execute_us = nullptr;
+    obs::AtomicHistogram* queue_wait_us = nullptr;
+    obs::Counter* batches = nullptr;
+  };
+  std::vector<StageMetrics> stage_metrics_;   // indexed by stage
+  std::vector<obs::Gauge*> queue_depth_gauges_;  // gauge i = queues_[i]
+  obs::AtomicHistogram* degraded_execute_us_ = nullptr;
+  obs::Counter* batches_retired_counter_ = nullptr;
+  obs::Counter* queries_retired_counter_ = nullptr;
+  obs::Counter* ingested_queries_counter_ = nullptr;
+  obs::Counter* malformed_frames_counter_ = nullptr;
+  obs::Counter* shed_batches_counter_ = nullptr;
+  obs::Counter* shed_queries_counter_ = nullptr;
+  obs::Counter* set_retries_counter_ = nullptr;
+  obs::Counter* error_responses_counter_ = nullptr;
+  obs::Counter* failovers_counter_ = nullptr;
+  obs::Counter* repromotions_counter_ = nullptr;
+  obs::Counter* degraded_batches_counter_ = nullptr;
+  obs::Gauge* degraded_gauge_ = nullptr;
+  std::unique_ptr<obs::CostDriftTracker> drift_;
 };
 
 }  // namespace dido

@@ -1,8 +1,35 @@
 #include "net/sim_nic.h"
 
+#include <cstdio>
+
 #include "faults/fault_registry.h"
+#include "obs/metrics.h"
 
 namespace dido {
+
+FrameRing::~FrameRing() { RegisterMetrics(nullptr, metric_ring_name_); }
+
+void FrameRing::RegisterMetrics(obs::MetricsRegistry* registry,
+                                std::string_view name) {
+  char id[64];
+  std::snprintf(id, sizeof(id), "frame_ring:%p",
+                static_cast<const void*>(this));
+  if (metrics_registry_ != nullptr && metrics_registry_ != registry) {
+    metrics_registry_->UnregisterCollector(id);
+  }
+  metrics_registry_ = registry;
+  metric_ring_name_ = std::string(name);
+  if (registry == nullptr) return;
+  registry->RegisterCollector(id, [this](std::vector<obs::Sample>* samples) {
+    samples->push_back(obs::Sample{
+        obs::MetricName("dido_frame_ring_depth", {{"ring", metric_ring_name_}}),
+        static_cast<double>(size()), /*monotone=*/false});
+    samples->push_back(
+        obs::Sample{obs::MetricName("dido_frame_ring_dropped_total",
+                                    {{"ring", metric_ring_name_}}),
+                    static_cast<double>(dropped()), /*monotone=*/true});
+  });
+}
 
 bool FrameRing::Push(Frame frame) {
   FaultHit hit;

@@ -5,12 +5,18 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/codec.h"
 #include "workload/workload.h"
 
 namespace dido {
+
+namespace obs {
+class MetricsRegistry;
+}
 
 // One simulated network frame (UDP payload).
 struct Frame {
@@ -33,6 +39,9 @@ class FrameRing {
   explicit FrameRing(size_t capacity = 4096,
                      OverflowPolicy policy = OverflowPolicy::kDropNewest)
       : capacity_(capacity), policy_(policy) {}
+  ~FrameRing();
+  FrameRing(const FrameRing&) = delete;
+  FrameRing& operator=(const FrameRing&) = delete;
 
   // Enqueues a frame.  On overflow the configured policy applies: under
   // kDropNewest the incoming frame is dropped (returns false); under
@@ -56,12 +65,22 @@ class FrameRing {
 
   OverflowPolicy policy() const { return policy_; }
 
+  // Publishes this ring's depth and drop count into `registry` as
+  // dido_frame_ring_depth{ring="<name>"} and
+  // dido_frame_ring_dropped_total{ring="<name>"} (collector-backed, sampled
+  // at exposition time — nothing is added to Push/Pop).  Undone on
+  // destruction or by re-registering against nullptr.
+  void RegisterMetrics(obs::MetricsRegistry* registry, std::string_view name);
+
  private:
   size_t capacity_;
   OverflowPolicy policy_;
   mutable std::mutex mu_;
   std::deque<Frame> frames_;
   uint64_t dropped_ = 0;
+  // Exposition-only state (set once before concurrent use).
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  std::string metric_ring_name_;
 };
 
 // Client-side traffic source: turns a WorkloadGenerator's query stream into

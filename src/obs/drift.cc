@@ -1,0 +1,122 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace dido {
+namespace obs {
+
+namespace {
+
+double Mean(const std::deque<double>& window) {
+  if (window.empty()) return 0.0;
+  return std::accumulate(window.begin(), window.end(), 0.0) /
+         static_cast<double>(window.size());
+}
+
+}  // namespace
+
+CostDriftTracker::CostDriftTracker(MetricsRegistry* registry,
+                                   const Options& options)
+    : options_(options) {
+  DIDO_CHECK(registry != nullptr);
+  batches_counter_ = registry->GetCounter(
+      options_.prefix + "_batches_total",
+      "batches with prediction-vs-observation drift samples");
+  tmax_error_gauge_ = registry->GetGauge(
+      options_.prefix + "_tmax_abs_rel_error",
+      "rolling |T_max predicted - observed| / observed (paper Fig. 9)");
+  stage_error_gauge_ = registry->GetGauge(
+      options_.prefix + "_stage_abs_rel_error",
+      "rolling mean per-stage |predicted - observed| / observed");
+  last_predicted_tmax_ = registry->GetGauge(
+      options_.prefix + "_last_predicted_tmax_us",
+      "cost-model predicted T_max of the most recent batch (us)");
+  last_observed_tmax_ = registry->GetGauge(
+      options_.prefix + "_last_observed_tmax_us",
+      "observed T_max of the most recent batch (us)");
+}
+
+void CostDriftTracker::PushWindowed(std::deque<double>* window, double value) {
+  window->push_back(value);
+  while (window->size() > options_.window) window->pop_front();
+}
+
+void CostDriftTracker::ObserveBatch(
+    const std::vector<double>& predicted_stage_us,
+    const std::vector<double>& observed_stage_us) {
+  if (predicted_stage_us.empty() ||
+      predicted_stage_us.size() != observed_stage_us.size()) {
+    return;
+  }
+  const double observed_sum = std::accumulate(observed_stage_us.begin(),
+                                              observed_stage_us.end(), 0.0);
+  const double predicted_sum = std::accumulate(predicted_stage_us.begin(),
+                                               predicted_stage_us.end(), 0.0);
+  if (!(observed_sum > 0.0) || !(predicted_sum > 0.0)) return;
+
+  // Scale-free mode (live pipeline): fit the single scalar that maps the
+  // simulated-APU prediction onto the host timeline, then measure the
+  // residual shape error.
+  const double scale = options_.normalize ? observed_sum / predicted_sum : 1.0;
+
+  double predicted_tmax = 0.0;
+  double observed_tmax = 0.0;
+  double stage_error_sum = 0.0;
+  size_t stages_counted = 0;
+  for (size_t i = 0; i < predicted_stage_us.size(); ++i) {
+    const double predicted = predicted_stage_us[i] * scale;
+    const double observed = observed_stage_us[i];
+    predicted_tmax = std::max(predicted_tmax, predicted);
+    observed_tmax = std::max(observed_tmax, observed);
+    if (observed > 0.0) {
+      stage_error_sum += std::fabs(predicted - observed) / observed;
+      stages_counted += 1;
+    }
+  }
+  if (!(observed_tmax > 0.0)) return;
+  const double tmax_error =
+      std::fabs(predicted_tmax - observed_tmax) / observed_tmax;
+  const double stage_error =
+      stages_counted > 0
+          ? stage_error_sum / static_cast<double>(stages_counted)
+          : 0.0;
+
+  double rolling_tmax;
+  double rolling_stage;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PushWindowed(&tmax_errors_, tmax_error);
+    PushWindowed(&stage_errors_, stage_error);
+    observed_batches_ += 1;
+    rolling_tmax = Mean(tmax_errors_);
+    rolling_stage = Mean(stage_errors_);
+  }
+
+  batches_counter_->Add(1);
+  tmax_error_gauge_->Set(rolling_tmax);
+  stage_error_gauge_->Set(rolling_stage);
+  last_predicted_tmax_->Set(predicted_tmax);
+  last_observed_tmax_->Set(observed_tmax);
+}
+
+double CostDriftTracker::RollingTmaxError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Mean(tmax_errors_);
+}
+
+double CostDriftTracker::RollingStageError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Mean(stage_errors_);
+}
+
+uint64_t CostDriftTracker::batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_batches_;
+}
+
+}  // namespace obs
+}  // namespace dido

@@ -1,0 +1,80 @@
+#ifndef DIDO_OBS_DRIFT_H_
+#define DIDO_OBS_DRIFT_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dido {
+namespace obs {
+
+// Cost-model drift telemetry: the paper's Fig. 9 metric (prediction error of
+// the APU-aware cost model) computed continuously, per executed batch, and
+// exported as rolling gauges — so every re-planning decision the adaption
+// controller takes is auditable against how well the model was actually
+// predicting at that moment.
+//
+// For each batch the caller supplies the cost model's predicted per-stage
+// times next to the observed per-stage times.  Two error figures are
+// maintained over a rolling window:
+//
+//  * t_max error  — |T_max_pred - T_max_obs| / T_max_obs, the paper's
+//                   headline prediction-error metric (throughput is
+//                   N / T_max, so this bounds the throughput error too);
+//  * stage error  — mean over stages of |pred_i - obs_i| / obs_i, which
+//                   localizes *where* the model drifts.
+//
+// Units: the simulator path compares microseconds to microseconds.  The
+// live (wall-clock) path compares simulated-APU predictions to host wall
+// times, so it sets `normalize`: both vectors are first scaled by a
+// least-squares scalar fit (predicted *= sum_obs / sum_pred), making the
+// comparison about the *shape* of the stage-time distribution — exactly the
+// signal that decides which pipeline cut wins — rather than about the
+// hardware calibration constant.
+class CostDriftTracker {
+ public:
+  struct Options {
+    size_t window = 64;        // batches in the rolling mean
+    bool normalize = false;    // scale-free comparison (live pipeline)
+    std::string prefix = "dido_costmodel";  // metric name prefix
+  };
+
+  CostDriftTracker(MetricsRegistry* registry, const Options& options);
+  CostDriftTracker(const CostDriftTracker&) = delete;
+  CostDriftTracker& operator=(const CostDriftTracker&) = delete;
+
+  // Records one executed batch.  Vectors must be the same length (stages of
+  // the batch's configuration); empty or all-zero observations are skipped.
+  void ObserveBatch(const std::vector<double>& predicted_stage_us,
+                    const std::vector<double>& observed_stage_us);
+
+  // Rolling means over the window (also exported as gauges
+  // "<prefix>_tmax_abs_rel_error" / "<prefix>_stage_abs_rel_error").
+  double RollingTmaxError() const;
+  double RollingStageError() const;
+  uint64_t batches() const;
+
+ private:
+  void PushWindowed(std::deque<double>* window, double value);
+
+  Options options_;
+  Counter* batches_counter_;
+  Gauge* tmax_error_gauge_;
+  Gauge* stage_error_gauge_;
+  Gauge* last_predicted_tmax_;
+  Gauge* last_observed_tmax_;
+
+  mutable std::mutex mu_;
+  std::deque<double> tmax_errors_;
+  std::deque<double> stage_errors_;
+  uint64_t observed_batches_ = 0;
+};
+
+}  // namespace obs
+}  // namespace dido
+
+#endif  // DIDO_OBS_DRIFT_H_

@@ -1,0 +1,369 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dido {
+namespace obs {
+
+namespace {
+
+// Shortest round-trip double formatting that stays readable in expositions.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return std::string(buf);
+}
+
+// Splits "base{labels}" into its base name and the label block (without
+// braces); the label block is empty when the name carries none.
+void SplitName(std::string_view name, std::string_view* base,
+               std::string_view* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    *base = name;
+    *labels = std::string_view();
+    return;
+  }
+  *base = name.substr(0, brace);
+  std::string_view rest = name.substr(brace + 1);
+  if (!rest.empty() && rest.back() == '}') rest.remove_suffix(1);
+  *labels = rest;
+}
+
+void AppendEscaped(std::string* out, std::string_view value) {
+  for (char c : value) {
+    if (c == '\\' || c == '"') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+// "base_bucket{labels,le="1.5"} 42" style series name.
+std::string SeriesName(std::string_view base, std::string_view suffix,
+                       std::string_view labels, std::string_view extra_label) {
+  std::string out;
+  out.append(base);
+  out.append(suffix);
+  if (!labels.empty() || !extra_label.empty()) {
+    out.push_back('{');
+    out.append(labels);
+    if (!labels.empty() && !extra_label.empty()) out.push_back(',');
+    out.append(extra_label);
+    out.push_back('}');
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ histogram --
+
+void AtomicHistogram::Record(double value) {
+  if constexpr (!kMetricsEnabled) {
+    (void)value;
+    return;
+  }
+  const size_t bucket = static_cast<size_t>(BucketFor(value));
+  // relaxed: the three adds are independent monotone statistics read only
+  // via snapshot sums; a torn-in-time view (count ahead of sum) merely
+  // shifts the mean of an in-flight snapshot, which quantile consumers
+  // tolerate by construction.
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  uint64_t desired;
+  do {
+    desired = std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + value);
+    // relaxed CAS: same justification — the sum is a statistic, not a
+    // synchronization point.
+  } while (!sum_bits_.compare_exchange_weak(observed, desired,
+                                            std::memory_order_relaxed,
+                                            std::memory_order_relaxed));
+}
+
+AtomicHistogram::Snapshot AtomicHistogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  // relaxed: see Record().
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snapshot.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+double AtomicHistogram::UpperBound(int bucket) {
+  return kMinBound *
+         std::pow(10.0, static_cast<double>(bucket + 1) /
+                            static_cast<double>(kBucketsPerDecade));
+}
+
+int AtomicHistogram::BucketFor(double value) {
+  if (!(value > kMinBound)) return 0;
+  const int bucket = static_cast<int>(
+      std::log10(value / kMinBound) * static_cast<double>(kBucketsPerDecade));
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double AtomicHistogram::Snapshot::Mean() const {
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double AtomicHistogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double hi = UpperBound(i);
+      const double lo = i > 0 ? UpperBound(i - 1) : 0.0;
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return UpperBound(kNumBuckets - 1);
+}
+
+// ------------------------------------------------------------- registry --
+
+std::string MetricName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(key);
+    out.append("=\"");
+    AppendEscaped(&out, value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      Kind kind,
+                                                      std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = metrics_.try_emplace(name);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    entry.help = std::string(help);
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<AtomicHistogram>();
+        break;
+    }
+  }
+  DIDO_CHECK(entry.kind == kind)
+      << "metric '" << name << "' re-registered with a different kind";
+  return &entry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     std::string_view help) {
+  return FindOrCreate(name, Kind::kCounter, help)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 std::string_view help) {
+  return FindOrCreate(name, Kind::kGauge, help)->gauge.get();
+}
+
+AtomicHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                               std::string_view help) {
+  return FindOrCreate(name, Kind::kHistogram, help)->histogram.get();
+}
+
+void MetricsRegistry::RegisterCollector(const std::string& id,
+                                        CollectorFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_[id] = std::move(fn);
+}
+
+void MetricsRegistry::UnregisterCollector(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+std::vector<Sample> MetricsRegistry::CollectSamples() const {
+  // Copy the callbacks out so a collector that (indirectly) touches the
+  // registry cannot deadlock against the exposition lock.
+  std::vector<CollectorFn> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns.reserve(collectors_.size());
+    for (const auto& [id, fn] : collectors_) fns.push_back(fn);
+  }
+  std::vector<Sample> samples;
+  for (const CollectorFn& fn : fns) fn(&samples);
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return samples;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::ostringstream os;
+  // Fixed sentinel first: CI greps the exposition for this exact series to
+  // catch format regressions (and it doubles as an "exporter alive" probe).
+  os << "# HELP dido_build_info dido metrics exposition sentinel\n"
+     << "# TYPE dido_build_info gauge\n"
+     << "dido_build_info 1\n";
+
+  std::string last_family;
+  const auto emit_family_header = [&](std::string_view base,
+                                      std::string_view help,
+                                      std::string_view type) {
+    if (last_family == base) return;
+    last_family = std::string(base);
+    if (!help.empty()) os << "# HELP " << base << ' ' << help << '\n';
+    os << "# TYPE " << base << ' ' << type << '\n';
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : metrics_) {
+      std::string_view base;
+      std::string_view labels;
+      SplitName(name, &base, &labels);
+      switch (entry.kind) {
+        case Kind::kCounter:
+          emit_family_header(base, entry.help, "counter");
+          os << name << ' ' << entry.counter->Value() << '\n';
+          break;
+        case Kind::kGauge:
+          emit_family_header(base, entry.help, "gauge");
+          os << name << ' ' << FormatDouble(entry.gauge->Value()) << '\n';
+          break;
+        case Kind::kHistogram: {
+          emit_family_header(base, entry.help, "histogram");
+          const AtomicHistogram::Snapshot snapshot =
+              entry.histogram->TakeSnapshot();
+          uint64_t cumulative = 0;
+          for (int i = 0; i < AtomicHistogram::kNumBuckets; ++i) {
+            cumulative += snapshot.buckets[static_cast<size_t>(i)];
+            // Every edge is emitted even when empty: Prometheus clients
+            // expect a stable bucket layout across scrapes.
+            std::string le = "le=\"";
+            le += FormatDouble(AtomicHistogram::UpperBound(i));
+            le += '"';
+            os << SeriesName(base, "_bucket", labels, le) << ' ' << cumulative
+               << '\n';
+          }
+          os << SeriesName(base, "_bucket", labels, "le=\"+Inf\"") << ' '
+             << snapshot.count << '\n';
+          os << SeriesName(base, "_sum", labels, "") << ' '
+             << FormatDouble(snapshot.sum) << '\n';
+          os << SeriesName(base, "_count", labels, "") << ' ' << snapshot.count
+             << '\n';
+          break;
+        }
+      }
+    }
+  }
+  // Collector samples are gathered outside the registry lock so a collector
+  // that reads the registry cannot deadlock the exposition.
+  std::vector<Sample> samples = CollectSamples();
+  last_family.clear();
+  for (const Sample& sample : samples) {
+    std::string_view base;
+    std::string_view labels;
+    SplitName(sample.name, &base, &labels);
+    emit_family_header(base, "", sample.monotone ? "counter" : "gauge");
+    os << sample.name << ' ' << FormatDouble(sample.value) << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::ostringstream os;
+  const auto json_key = [](std::string_view name) {
+    std::string out;
+    out.push_back('"');
+    for (char c : name) {
+      if (c == '\\' || c == '"') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  };
+
+  std::ostringstream counters, gauges, histograms;
+  bool first_counter = true, first_gauge = true, first_histogram = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : metrics_) {
+      switch (entry.kind) {
+        case Kind::kCounter:
+          counters << (first_counter ? "" : ",") << json_key(name) << ':'
+                   << entry.counter->Value();
+          first_counter = false;
+          break;
+        case Kind::kGauge:
+          gauges << (first_gauge ? "" : ",") << json_key(name) << ':'
+                 << FormatDouble(entry.gauge->Value());
+          first_gauge = false;
+          break;
+        case Kind::kHistogram: {
+          const AtomicHistogram::Snapshot s = entry.histogram->TakeSnapshot();
+          histograms << (first_histogram ? "" : ",") << json_key(name)
+                     << ":{\"count\":" << s.count
+                     << ",\"sum\":" << FormatDouble(s.sum)
+                     << ",\"mean\":" << FormatDouble(s.Mean())
+                     << ",\"p50\":" << FormatDouble(s.Percentile(0.50))
+                     << ",\"p95\":" << FormatDouble(s.Percentile(0.95))
+                     << ",\"p99\":" << FormatDouble(s.Percentile(0.99)) << '}';
+          first_histogram = false;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<Sample> samples = CollectSamples();
+  std::ostringstream collected;
+  bool first_sample = true;
+  for (const Sample& sample : samples) {
+    collected << (first_sample ? "" : ",") << json_key(sample.name) << ':'
+              << FormatDouble(sample.value);
+    first_sample = false;
+  }
+  os << "{\"counters\":{" << counters.str() << "},\"gauges\":{"
+     << gauges.str() << "},\"histograms\":{" << histograms.str()
+     << "},\"collected\":{" << collected.str() << "}}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace dido

@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <sstream>
+#include <utility>
+
+namespace dido {
+namespace obs {
+
+uint64_t TraceCollector::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceCollector::AddSpan(TraceSpan span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    dropped_ += 1;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceSpan> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string TraceJsonString(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string TraceCollector::RenderChromeTrace() const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":" << TraceJsonString(span.name)
+       << ",\"cat\":" << TraceJsonString(span.category)
+       << ",\"ph\":\"X\",\"ts\":" << span.ts_us << ",\"dur\":" << span.dur_us
+       << ",\"pid\":1,\"tid\":" << span.tid;
+    if (!span.args_json.empty()) {
+      os << ",\"args\":{" << span.args_json << '}';
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace dido

@@ -1,0 +1,87 @@
+#ifndef DIDO_OBS_TRACE_H_
+#define DIDO_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dido {
+namespace obs {
+
+// Batch-scoped tracing for the pipeline: every stage execution, every KV
+// task, and every queue wait becomes one "complete" span, exportable as
+// Chrome trace_event JSON (load the file in chrome://tracing or Perfetto).
+//
+// Spans are cheap but not free (a mutex-protected vector append), so the
+// collector is opt-in: components take a TraceCollector* and skip all span
+// work when it is null or disabled.  Span rates are per batch / per stage —
+// a few thousand per second at full live throughput — far below the level
+// where the mutex would matter.
+//
+// Timebase: microseconds since the collector was constructed (steady
+// clock), so all producers share one timeline.
+
+struct TraceSpan {
+  std::string name;       // e.g. "IN.S", "stage1", "queue_wait"
+  std::string category;   // "stage" | "task" | "queue" | custom
+  uint64_t ts_us = 0;     // start, collector timebase
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;       // lane: stage index (0 = ingress)
+  // Pre-rendered JSON object body for "args", without braces, e.g.
+  // "\"device\":\"cpu\",\"queries\":2048".  Empty for no args.
+  std::string args_json;
+};
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t capacity = 1 << 16)
+      : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {}
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  bool enabled() const {
+    // relaxed: an on/off sampling flag; producers observing it one span
+    // late only record (or skip) one extra span.
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) {
+    // relaxed: see enabled().
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Microseconds since collector construction (the span timebase).
+  uint64_t NowMicros() const;
+
+  // Records a span; silently dropped (and counted) once `capacity` spans
+  // are buffered or while disabled.
+  void AddSpan(TraceSpan span);
+
+  size_t size() const;
+  uint64_t dropped() const;
+  void Clear();
+
+  std::vector<TraceSpan> Snapshot() const;
+
+  // {"traceEvents":[...]} — one "ph":"X" complete event per span.
+  std::string RenderChromeTrace() const;
+
+ private:
+  size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  uint64_t dropped_ = 0;
+};
+
+// JSON string escape helper for span args ("key":"value" fragments).
+std::string TraceJsonString(std::string_view value);
+
+}  // namespace obs
+}  // namespace dido
+
+#endif  // DIDO_OBS_TRACE_H_

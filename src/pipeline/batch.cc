@@ -10,6 +10,7 @@ void QueryBatch::Clear() {
   responses.clear();
   index_counters_at_pp = CuckooHashTable::Counters();
   measurements = BatchMeasurements();
+  obs = BatchObs();
 }
 
 }  // namespace dido

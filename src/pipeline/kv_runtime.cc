@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dido {
 namespace {
@@ -25,6 +27,55 @@ KvRuntime::KvRuntime(const Options& options)
     : index_(std::make_unique<CuckooHashTable>(options.index)),
       memory_(std::make_unique<MemoryManager>(options.slab)) {
   memory_->set_epoch_manager(&epoch_);
+}
+
+KvRuntime::~KvRuntime() { RegisterMetrics(nullptr); }
+
+void KvRuntime::RegisterMetrics(obs::MetricsRegistry* registry) {
+  char id[64];
+  std::snprintf(id, sizeof(id), "kv_runtime:%p",
+                static_cast<const void*>(this));
+  if (metrics_registry_ != nullptr && metrics_registry_ != registry) {
+    metrics_registry_->UnregisterCollector(id);
+  }
+  metrics_registry_ = registry;
+  if (registry == nullptr) return;
+  registry->RegisterCollector(id, [this](std::vector<obs::Sample>* samples) {
+    const auto counter = [samples](const char* name, uint64_t value) {
+      samples->push_back(
+          obs::Sample{name, static_cast<double>(value), /*monotone=*/true});
+    };
+    const auto gauge = [samples](const char* name, double value) {
+      samples->push_back(obs::Sample{name, value, /*monotone=*/false});
+    };
+    const CuckooHashTable::Counters index = index_->counters();
+    counter("dido_index_searches_total", index.searches);
+    counter("dido_index_search_buckets_probed_total",
+            index.search_buckets_probed);
+    counter("dido_index_search_primary_hits_total", index.search_primary_hits);
+    counter("dido_index_inserts_total", index.inserts);
+    counter("dido_index_insert_buckets_probed_total",
+            index.insert_buckets_probed);
+    counter("dido_index_displacements_total", index.displacements);
+    counter("dido_index_deletes_total", index.deletes);
+    counter("dido_index_delete_buckets_probed_total",
+            index.delete_buckets_probed);
+    counter("dido_index_failed_inserts_total", index.failed_inserts);
+    gauge("dido_index_load_factor", index_->LoadFactor());
+    const MemoryManager::Counters mem = memory_->counters();
+    counter("dido_mem_allocations_total", mem.allocations);
+    counter("dido_mem_evictions_total", mem.evictions);
+    counter("dido_mem_frees_total", mem.frees);
+    counter("dido_mem_failed_allocations_total", mem.failed_allocations);
+    const EpochManager::Stats epoch_stats = epoch_.stats();
+    gauge("dido_epoch_global", static_cast<double>(epoch_stats.global_epoch));
+    counter("dido_epoch_retired_total", epoch_stats.retired);
+    counter("dido_epoch_reclaimed_total", epoch_stats.reclaimed);
+    // Reclaim depth: objects quarantined in limbo lists right now.
+    gauge("dido_epoch_quarantined", static_cast<double>(epoch_stats.quarantined));
+    counter("dido_epoch_advances_total", epoch_stats.advances);
+    gauge("dido_live_objects", static_cast<double>(live_objects()));
+  });
 }
 
 Result<KvObject*> KvRuntime::AllocateWithEviction(

@@ -17,6 +17,10 @@
 
 namespace dido {
 
+namespace obs {
+class MetricsRegistry;
+}
+
 // The shared key-value state of the store — the cuckoo index plus the slab
 // heap — together with the *functional* implementation of every pipeline
 // task.  This is the "hUMA" property made literal: whichever simulated
@@ -38,6 +42,17 @@ class KvRuntime {
   };
 
   explicit KvRuntime(const Options& options);
+  ~KvRuntime();
+  KvRuntime(const KvRuntime&) = delete;
+  KvRuntime& operator=(const KvRuntime&) = delete;
+
+  // Publishes the runtime's component counters (cuckoo probes and
+  // displacements, allocator traffic, epoch reclaim depth, live objects)
+  // into `registry` as collector-backed series sampled at exposition time —
+  // the hot paths keep their existing relaxed counters and gain nothing.
+  // Undone on destruction or by re-registering against nullptr; the
+  // registry must therefore outlive this runtime (or be detached first).
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 
   CuckooHashTable& index() { return *index_; }
   MemoryManager& memory() { return *memory_; }
@@ -128,6 +143,8 @@ class KvRuntime {
 
   std::unique_ptr<CuckooHashTable> index_;
   std::unique_ptr<MemoryManager> memory_;
+  // Metrics registry this runtime registered its collector with.
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
   std::atomic<uint64_t> sampling_epoch_{1};
   // Relaxed fetch_add: versions only need to be unique, not ordered with
   // respect to any other memory — the MM stage and the direct Put API may

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/work_stealing.h"
+#include "sim/device_spec.h"
 #include "sync/epoch.h"
 
 namespace dido {
@@ -30,9 +34,8 @@ bool StealEligible(TaskKind task, Device thief) {
 
 }  // namespace
 
-WorkloadProfileData MeasuredProfile(const QueryBatch& batch,
-                                    const WorkloadGenerator& generator,
-                                    const KvRuntime& runtime) {
+WorkloadProfileData ProfileFromBatch(const QueryBatch& batch,
+                                     const KvRuntime& runtime) {
   const BatchMeasurements& m = batch.measurements;
   WorkloadProfileData profile;
   profile.batch_n = m.num_queries;
@@ -48,15 +51,22 @@ WorkloadProfileData MeasuredProfile(const QueryBatch& batch,
       value_samples > 0
           ? (m.sum_value_bytes + m.sum_hit_value_bytes) / value_samples
           : 0.0;
-  const WorkloadSpec& spec = generator.spec();
-  profile.zipf = spec.distribution == KeyDistribution::kZipf;
-  profile.zipf_skew = spec.zipf_skew;
   profile.num_objects = runtime.live_objects();
   profile.queries_per_frame =
       m.num_frames > 0 ? n / static_cast<double>(m.num_frames) : 1.0;
   if (m.search_probes > 0) profile.search_probes = m.search_probes;
   if (m.insert_probes > 0) profile.insert_probes = m.insert_probes;
   if (m.delete_probes > 0) profile.delete_probes = m.delete_probes;
+  return profile;
+}
+
+WorkloadProfileData MeasuredProfile(const QueryBatch& batch,
+                                    const WorkloadGenerator& generator,
+                                    const KvRuntime& runtime) {
+  WorkloadProfileData profile = ProfileFromBatch(batch, runtime);
+  const WorkloadSpec& spec = generator.spec();
+  profile.zipf = spec.distribution == KeyDistribution::kZipf;
+  profile.zipf_skew = spec.zipf_skew;
   return profile;
 }
 
@@ -156,7 +166,95 @@ BatchResult PipelineExecutor::RunBatch(const PipelineConfig& config,
     result.cpu_utilization = std::clamp(cpu_busy / result.t_max, 0.0, 1.0);
     result.gpu_utilization = std::clamp(gpu_busy / result.t_max, 0.0, 1.0);
   }
+  RecordBatchObservability(result);
   return result;
+}
+
+void PipelineExecutor::AttachObservability(obs::MetricsRegistry* metrics,
+                                           obs::TraceCollector* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+  if (metrics_ == nullptr) {
+    sim_batches_counter_ = nullptr;
+    sim_stolen_queries_counter_ = nullptr;
+    sim_steal_chunks_counter_ = nullptr;
+    sim_tmax_hist_ = nullptr;
+    return;
+  }
+  sim_batches_counter_ = metrics_->GetCounter(
+      "dido_sim_batches_total", "Batches executed by the simulator");
+  sim_stolen_queries_counter_ = metrics_->GetCounter(
+      "dido_sim_stolen_queries_total", "Queries moved by work stealing");
+  sim_steal_chunks_counter_ = metrics_->GetCounter(
+      "dido_sim_steal_chunks_total", "64-query chunks moved by work stealing");
+  sim_tmax_hist_ = metrics_->GetHistogram(
+      "dido_sim_tmax_us", "Simulated pipeline interval T_max per batch");
+}
+
+void PipelineExecutor::RecordBatchObservability(const BatchResult& result) {
+  if (metrics_ != nullptr) {
+    sim_batches_counter_->Add();
+    sim_tmax_hist_->Record(result.t_max);
+    if (result.stolen_queries > 0) {
+      sim_stolen_queries_counter_->Add(result.stolen_queries);
+      sim_steal_chunks_counter_->Add(
+          (result.stolen_queries + StealTagArray::kChunkQueries - 1) /
+          StealTagArray::kChunkQueries);
+    }
+    for (size_t s = 0; s < result.stages.size(); ++s) {
+      metrics_
+          ->GetHistogram(
+              obs::MetricName(
+                  "dido_sim_stage_time_us",
+                  {{"stage", std::to_string(s)},
+                   {"device", DeviceName(result.stages[s].device)}}),
+              "Simulated stage time per batch (after work stealing)")
+          ->Record(result.stages[s].time_after_steal_us);
+    }
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    const uint64_t base = static_cast<uint64_t>(virtual_now_us_);
+    for (size_t s = 0; s < result.stages.size(); ++s) {
+      const StageResult& stage = result.stages[s];
+      const std::string device(DeviceName(stage.device));
+      obs::TraceSpan span;
+      span.name = "stage" + std::to_string(s);
+      span.category = "stage";
+      span.ts_us = base;
+      span.dur_us = static_cast<uint64_t>(stage.time_after_steal_us);
+      span.tid = static_cast<uint32_t>(s);
+      span.args_json =
+          "\"device\":" + obs::TraceJsonString(device) +
+          ",\"queries\":" + std::to_string(result.batch_size);
+      if (result.stolen_queries > 0 &&
+          stage.time_after_steal_us < stage.time_us) {
+        // The bottleneck stage work stealing shortened.
+        span.args_json +=
+            ",\"stolen_queries\":" + std::to_string(result.stolen_queries) +
+            ",\"stolen_chunks\":" +
+            std::to_string((result.stolen_queries +
+                            StealTagArray::kChunkQueries - 1) /
+                           StealTagArray::kChunkQueries);
+      }
+      trace_->AddSpan(std::move(span));
+      // Task spans laid out sequentially inside the stage interval.
+      double offset = 0.0;
+      for (const TaskTimingBreakdown& tb : stage.task_times) {
+        obs::TraceSpan task_span;
+        task_span.name = std::string(TaskKindName(tb.task));
+        task_span.category = "task";
+        task_span.ts_us = base + static_cast<uint64_t>(offset);
+        task_span.dur_us = static_cast<uint64_t>(tb.time_us);
+        task_span.tid = static_cast<uint32_t>(s);
+        task_span.args_json =
+            "\"device\":" + obs::TraceJsonString(device) +
+            ",\"items\":" + std::to_string(static_cast<uint64_t>(tb.items));
+        trace_->AddSpan(std::move(task_span));
+        offset += tb.time_us;
+      }
+    }
+  }
+  virtual_now_us_ += result.t_max;
 }
 
 void PipelineExecutor::ComputeTimings(const PipelineConfig& config,

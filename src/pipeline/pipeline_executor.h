@@ -14,6 +14,13 @@
 
 namespace dido {
 
+namespace obs {
+class AtomicHistogram;
+class Counter;
+class MetricsRegistry;
+class TraceCollector;
+}  // namespace obs
+
 // Knobs of the pipeline simulation.
 struct ExecutorOptions {
   // Average system latency bound; the per-stage scheduling interval is
@@ -88,6 +95,17 @@ class PipelineExecutor {
   const TimingModel& timing() const { return timing_; }
   KvRuntime& runtime() { return *runtime_; }
 
+  // Publishes simulator telemetry under the dido_sim_* prefix: per-stage
+  // simulated times and T_max histograms, batch and steal counters.  When
+  // `trace` is set, every executed batch's stages and tasks become spans on
+  // a *virtual* timeline (batch k starts where batch k-1's interval ended,
+  // stages of one batch run concurrently — the steady-state picture the
+  // timing model computes).  Either argument may be null to detach; both
+  // must outlive the executor.  Not thread-safe against concurrent
+  // RunBatch (the executor itself is single-threaded).
+  void AttachObservability(obs::MetricsRegistry* metrics,
+                           obs::TraceCollector* trace);
+
   // Per-stage scheduling interval for a pipeline with `num_stages` stages.
   Micros IntervalFor(size_t num_stages) const;
 
@@ -126,12 +144,32 @@ class PipelineExecutor {
                          const WorkloadProfileData& profile,
                          BatchResult* result);
 
+  // Records the finished batch into metrics_/trace_ and advances the
+  // virtual timeline by the batch's interval.
+  void RecordBatchObservability(const BatchResult& result);
+
   KvRuntime* runtime_;
   ApuSpec spec_;
   TimingModel timing_;
   ExecutorOptions options_;
   uint64_t sequence_ = 0;
+
+  // Observability sinks (see AttachObservability); all null by default.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceCollector* trace_ = nullptr;
+  obs::Counter* sim_batches_counter_ = nullptr;
+  obs::Counter* sim_stolen_queries_counter_ = nullptr;
+  obs::Counter* sim_steal_chunks_counter_ = nullptr;
+  obs::AtomicHistogram* sim_tmax_hist_ = nullptr;
+  double virtual_now_us_ = 0.0;  // virtual trace timeline head
 };
+
+// Builds the measured workload profile of an executed batch from the batch's
+// own counters and the runtime's live-object count alone — usable wherever no
+// WorkloadGenerator exists (e.g. the live pipeline observing wire traffic).
+// The distribution fields (zipf, zipf_skew) are left at their defaults.
+WorkloadProfileData ProfileFromBatch(const QueryBatch& batch,
+                                     const KvRuntime& runtime);
 
 // Builds the measured workload profile of an executed batch: counters from
 // the batch itself, popularity truth from the generator, and live-object

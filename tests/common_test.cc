@@ -349,6 +349,68 @@ TEST(HistogramTest, MergeCombinesCounts) {
   EXPECT_NEAR(a.Mean(), 505.0, 1e-9);
 }
 
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  for (double x : {5.0, 10.0, 20.0}) a.Add(x);
+  const double p50_before = a.Percentile(0.5);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), p50_before);
+
+  // Merging into an empty histogram adopts the other side's extrema
+  // (the empty side's sentinel infinities must not leak out).
+  Histogram adopted;
+  adopted.Merge(a);
+  EXPECT_EQ(adopted.count(), 3u);
+  EXPECT_DOUBLE_EQ(adopted.min(), 5.0);
+  EXPECT_DOUBLE_EQ(adopted.max(), 20.0);
+
+  // Empty-merge-empty stays empty and keeps reporting zeros.
+  Histogram e1;
+  Histogram e2;
+  e1.Merge(e2);
+  EXPECT_EQ(e1.count(), 0u);
+  EXPECT_DOUBLE_EQ(e1.min(), 0.0);
+  EXPECT_DOUBLE_EQ(e1.max(), 0.0);
+  EXPECT_DOUBLE_EQ(e1.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, SingleBucketQuantileEdges) {
+  // All mass in one bucket: every quantile must interpolate inside
+  // [min, max] of that bucket — in particular the q=0 and q=1 edges.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(77.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 77.0);
+  EXPECT_GE(h.Percentile(0.5), 77.0 * 0.99);
+  EXPECT_LE(h.Percentile(0.5), 77.0 * 1.01);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 77.0);
+  // Out-of-range q clamps rather than reading outside the bucket array.
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(1.5), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, MergeThenQuantilesMatchCombinedStream) {
+  // Quantiles of a merged histogram must equal quantiles of one histogram
+  // fed the concatenated stream (merge is exact, not approximate).
+  Random rng(23);
+  Histogram combined;
+  Histogram left;
+  Histogram right;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = 1.0 + rng.NextDouble() * 500.0;
+    combined.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(left.Percentile(q), combined.Percentile(q)) << q;
+  }
+}
+
 TEST(HistogramTest, SummaryMentionsCount) {
   Histogram h;
   h.Add(1.0);
@@ -396,6 +458,59 @@ TEST(RunningStatsTest, MergeMatchesSequential) {
   EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
   EXPECT_NEAR(left.PopulationVariance(), all.PopulationVariance(), 1e-6);
   EXPECT_NEAR(left.SkewnessG1(), all.SkewnessG1(), 1e-6);
+}
+
+TEST(RunningStatsTest, SkewnessNanSafeForTinySamples) {
+  // n < 3 leaves the adjusted estimator undefined (its sqrt(n(n-1))/(n-2)
+  // correction divides by zero at n=2); the accumulator must return finite
+  // zeros instead of NaN/inf for n = 0, 1, 2.
+  RunningStats stats;
+  for (int n = 0; n <= 2; ++n) {
+    EXPECT_TRUE(std::isfinite(stats.SkewnessG1())) << "n=" << n;
+    EXPECT_TRUE(std::isfinite(stats.SkewnessAdjusted())) << "n=" << n;
+    EXPECT_DOUBLE_EQ(stats.SkewnessAdjusted(), 0.0) << "n=" << n;
+    stats.Add(static_cast<double>(n) + 1.0);
+  }
+}
+
+TEST(RunningStatsTest, SkewnessNanSafeForZeroVariance) {
+  // Constant samples: m2 == 0, so g1's m2^{3/2} denominator vanishes.
+  RunningStats stats;
+  for (int i = 0; i < 100; ++i) stats.Add(7.5);
+  EXPECT_DOUBLE_EQ(stats.PopulationVariance(), 0.0);
+  EXPECT_TRUE(std::isfinite(stats.SkewnessG1()));
+  EXPECT_TRUE(std::isfinite(stats.SkewnessAdjusted()));
+  EXPECT_DOUBLE_EQ(stats.SkewnessG1(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.SkewnessAdjusted(), 0.0);
+}
+
+TEST(RunningStatsTest, JoanesGillRegression) {
+  // Regression against the definition evaluated directly: for samples X,
+  // g1 = m3/m2^{3/2} with population moments, and
+  // G1 = g1 * sqrt(n(n-1))/(n-2)  (Joanes & Gill 1998, estimator b).
+  const std::vector<double> samples = {1.0, 2.0, 2.5, 4.0, 8.0, 16.0};
+  RunningStats stats;
+  for (double x : samples) stats.Add(x);
+
+  const double n = static_cast<double>(samples.size());
+  double mean = 0.0;
+  for (double x : samples) mean += x / n;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double x : samples) {
+    const double d = x - mean;
+    m2 += d * d / n;
+    m3 += d * d * d / n;
+  }
+  const double g1 = m3 / std::pow(m2, 1.5);
+  const double adjusted = g1 * std::sqrt(n * (n - 1.0)) / (n - 2.0);
+
+  EXPECT_NEAR(stats.SkewnessG1(), g1, 1e-12);
+  EXPECT_NEAR(stats.SkewnessAdjusted(), adjusted, 1e-12);
+  // And the well-known direction/magnitude sanity: this sample is clearly
+  // right-skewed and the small-n adjustment amplifies g1.
+  EXPECT_GT(g1, 0.9);
+  EXPECT_GT(stats.SkewnessAdjusted(), stats.SkewnessG1());
 }
 
 TEST(RunningStatsTest, MergeWithEmpty) {

@@ -1,0 +1,418 @@
+// Tests for the observability layer (src/obs/): metrics registry, trace
+// collector, and cost-model drift telemetry.  Carries the CTest label
+// "obs"; CI additionally runs this suite under ThreadSanitizer (the
+// counter/histogram tests hammer one instrument from many threads).
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/drift.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dido {
+namespace obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// ------------------------------------------------------------- counter --
+
+TEST(ObsCounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(ObsCounterTest, ConcurrentAddsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kAddsPerThread);
+}
+
+// --------------------------------------------------------------- gauge --
+
+TEST(ObsGaugeTest, SetStoresLastValue) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.25);
+  EXPECT_EQ(gauge.Value(), 3.25);
+  gauge.Set(-1e9);
+  EXPECT_EQ(gauge.Value(), -1e9);
+  gauge.Set(0.0);
+  EXPECT_EQ(gauge.Value(), 0.0);
+}
+
+// ----------------------------------------------------------- histogram --
+
+TEST(ObsHistogramTest, BucketEdgesAreMonotoneAndSelfConsistent) {
+  double previous = AtomicHistogram::kMinBound;
+  for (int b = 0; b < AtomicHistogram::kNumBuckets; ++b) {
+    const double edge = AtomicHistogram::UpperBound(b);
+    EXPECT_GT(edge, previous) << "bucket " << b;
+    previous = edge;
+  }
+  // Values at or below the minimum bound land in bucket 0; absurdly large
+  // values clamp to the last bucket instead of indexing out of range.
+  EXPECT_EQ(AtomicHistogram::BucketFor(0.0), 0);
+  EXPECT_EQ(AtomicHistogram::BucketFor(-5.0), 0);
+  EXPECT_EQ(AtomicHistogram::BucketFor(AtomicHistogram::kMinBound), 0);
+  EXPECT_EQ(AtomicHistogram::BucketFor(1e30),
+            AtomicHistogram::kNumBuckets - 1);
+  // A value strictly inside a bucket maps below that bucket's upper edge.
+  const int bucket = AtomicHistogram::BucketFor(100.0);
+  EXPECT_GE(bucket, 0);
+  EXPECT_LT(bucket, AtomicHistogram::kNumBuckets);
+  EXPECT_LE(100.0, AtomicHistogram::UpperBound(bucket) * 1.0000001);
+}
+
+TEST(ObsHistogramTest, SnapshotCountSumMeanPercentile) {
+  AtomicHistogram histogram;
+  for (int i = 0; i < 1000; ++i) histogram.Record(10.0);
+  const AtomicHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 1000u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 10000.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 10.0);
+  // Everything sits in one bucket, so any quantile resolves inside the
+  // bucket that holds 10.0.
+  const int bucket = AtomicHistogram::BucketFor(10.0);
+  const double lower =
+      bucket == 0 ? 0.0 : AtomicHistogram::UpperBound(bucket - 1);
+  const double upper = AtomicHistogram::UpperBound(bucket);
+  for (double q : {0.01, 0.5, 0.99}) {
+    const double value = snapshot.Percentile(q);
+    EXPECT_GE(value, lower) << "q=" << q;
+    EXPECT_LE(value, upper) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogramTest, PercentileOrdersAcrossBuckets) {
+  AtomicHistogram histogram;
+  // 90% fast ops at ~2us, 10% slow ops at ~800us: p50 must sit decades
+  // below p99.
+  for (int i = 0; i < 900; ++i) histogram.Record(2.0);
+  for (int i = 0; i < 100; ++i) histogram.Record(800.0);
+  const AtomicHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  const double p50 = snapshot.Percentile(0.50);
+  const double p99 = snapshot.Percentile(0.99);
+  EXPECT_LT(p50, 10.0);
+  EXPECT_GT(p99, 100.0);
+  EXPECT_LT(p50, p99);
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordsKeepExactCount) {
+  AtomicHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        histogram.Record(static_cast<double>((t * 37 + i) % 500) + 1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const AtomicHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count,
+            static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snapshot.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snapshot.count);
+  EXPECT_TRUE(std::isfinite(snapshot.sum));
+  EXPECT_GT(snapshot.sum, 0.0);
+}
+
+// ---------------------------------------------------------- metric name --
+
+TEST(ObsMetricNameTest, RendersLabelsInOrder) {
+  EXPECT_EQ(MetricName("dido_x_total", {}), "dido_x_total");
+  EXPECT_EQ(MetricName("dido_stage_us", {{"stage", "2"}, {"device", "GPU"}}),
+            "dido_stage_us{stage=\"2\",device=\"GPU\"}");
+  // Label values with quotes or backslashes are escaped.
+  EXPECT_EQ(MetricName("m", {{"k", "a\"b\\c"}}),
+            "m{k=\"a\\\"b\\\\c\"}");
+}
+
+// ------------------------------------------------------------- registry --
+
+TEST(ObsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("dido_test_total", "help text");
+  EXPECT_EQ(registry.GetCounter("dido_test_total"), counter);
+  Gauge* gauge = registry.GetGauge("dido_test_gauge");
+  EXPECT_EQ(registry.GetGauge("dido_test_gauge"), gauge);
+  AtomicHistogram* histogram = registry.GetHistogram("dido_test_us");
+  EXPECT_EQ(registry.GetHistogram("dido_test_us"), histogram);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(ObsRegistryTest, PrometheusExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("dido_test_events_total", "events seen")->Add(7);
+  registry.GetGauge("dido_test_depth")->Set(3.5);
+  AtomicHistogram* histogram = registry.GetHistogram("dido_test_wait_us");
+  histogram->Record(2.0);
+  histogram->Record(200.0);
+  const std::string text = registry.RenderPrometheus();
+
+  // The fixed sentinel CI greps for must always be present, even on an
+  // empty registry.
+  EXPECT_TRUE(Contains(text, "dido_build_info 1"));
+  EXPECT_TRUE(Contains(MetricsRegistry().RenderPrometheus(),
+                       "dido_build_info 1"));
+
+  EXPECT_TRUE(Contains(text, "# HELP dido_test_events_total events seen"));
+  EXPECT_TRUE(Contains(text, "# TYPE dido_test_events_total counter"));
+  EXPECT_TRUE(Contains(text, "dido_test_events_total 7"));
+  EXPECT_TRUE(Contains(text, "# TYPE dido_test_depth gauge"));
+  EXPECT_TRUE(Contains(text, "dido_test_depth 3.5"));
+  // Histograms render cumulative buckets terminated by the +Inf series,
+  // plus _sum and _count.
+  EXPECT_TRUE(Contains(text, "# TYPE dido_test_wait_us histogram"));
+  EXPECT_TRUE(Contains(text, "dido_test_wait_us_bucket{le=\"+Inf\"} 2"));
+  EXPECT_TRUE(Contains(text, "dido_test_wait_us_sum 202"));
+  EXPECT_TRUE(Contains(text, "dido_test_wait_us_count 2"));
+}
+
+TEST(ObsRegistryTest, LabeledHistogramKeepsLabelsInBucketSeries) {
+  MetricsRegistry registry;
+  registry
+      .GetHistogram(
+          MetricName("dido_stage_us", {{"stage", "1"}, {"device", "CPU"}}))
+      ->Record(5.0);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(
+      text, "dido_stage_us_bucket{stage=\"1\",device=\"CPU\",le=\"+Inf\"} 1"));
+  EXPECT_TRUE(
+      Contains(text, "dido_stage_us_count{stage=\"1\",device=\"CPU\"} 1"));
+}
+
+TEST(ObsRegistryTest, JsonExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("dido_test_total")->Add(11);
+  registry.GetGauge("dido_test_gauge")->Set(0.25);
+  registry.GetHistogram("dido_test_us")->Record(4.0);
+  const std::string json = registry.RenderJson();
+  EXPECT_TRUE(Contains(json, "\"dido_test_total\""));
+  EXPECT_TRUE(Contains(json, "11"));
+  EXPECT_TRUE(Contains(json, "\"dido_test_gauge\""));
+  EXPECT_TRUE(Contains(json, "\"dido_test_us\""));
+  EXPECT_TRUE(Contains(json, "\"count\""));
+}
+
+TEST(ObsRegistryTest, CollectorsSampledAtExpositionTime) {
+  MetricsRegistry registry;
+  std::atomic<int> calls{0};
+  registry.RegisterCollector("test", [&calls](std::vector<Sample>* out) {
+    calls.fetch_add(1);
+    out->push_back({"dido_collected_total", 19.0, /*monotone=*/true});
+    out->push_back({"dido_collected_gauge", 2.5, /*monotone=*/false});
+  });
+  EXPECT_EQ(calls.load(), 0);  // registration alone never samples
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_TRUE(Contains(text, "dido_collected_total 19"));
+  EXPECT_TRUE(Contains(text, "# TYPE dido_collected_total counter"));
+  EXPECT_TRUE(Contains(text, "dido_collected_gauge 2.5"));
+
+  registry.UnregisterCollector("test");
+  EXPECT_FALSE(Contains(registry.RenderPrometheus(), "dido_collected_total"));
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// ---------------------------------------------------------------- trace --
+
+TEST(ObsTraceTest, AddSpanStoresAndSnapshotRoundTrips) {
+  TraceCollector trace(16);
+  TraceSpan span;
+  span.name = "IN.S";
+  span.category = "task";
+  span.ts_us = 100;
+  span.dur_us = 25;
+  span.tid = 3;
+  span.args_json = "\"device\":\"GPU\",\"queries\":2048";
+  trace.AddSpan(span);
+  ASSERT_EQ(trace.size(), 1u);
+  const std::vector<TraceSpan> spans = trace.Snapshot();
+  EXPECT_EQ(spans[0].name, "IN.S");
+  EXPECT_EQ(spans[0].tid, 3u);
+  EXPECT_EQ(spans[0].dur_us, 25u);
+}
+
+TEST(ObsTraceTest, CapacityOverflowDropsAndCounts) {
+  TraceCollector trace(4);
+  for (int i = 0; i < 10; ++i) trace.AddSpan({});
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(ObsTraceTest, DisabledCollectorRecordsNothing) {
+  TraceCollector trace(16);
+  trace.set_enabled(false);
+  EXPECT_FALSE(trace.enabled());
+  trace.AddSpan({});
+  EXPECT_EQ(trace.size(), 0u);
+  trace.set_enabled(true);
+  trace.AddSpan({});
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(ObsTraceTest, ChromeTraceJsonShape) {
+  TraceCollector trace(16);
+  TraceSpan span;
+  span.name = "stage1";
+  span.category = "stage";
+  span.ts_us = 7;
+  span.dur_us = 11;
+  span.tid = 1;
+  span.args_json = "\"device\":\"CPU\"";
+  trace.AddSpan(span);
+  const std::string json = trace.RenderChromeTrace();
+  EXPECT_TRUE(Contains(json, "\"traceEvents\":["));
+  EXPECT_TRUE(Contains(json, "\"name\":\"stage1\""));
+  EXPECT_TRUE(Contains(json, "\"ph\":\"X\""));
+  EXPECT_TRUE(Contains(json, "\"ts\":7"));
+  EXPECT_TRUE(Contains(json, "\"dur\":11"));
+  EXPECT_TRUE(Contains(json, "\"args\":{\"device\":\"CPU\"}"));
+}
+
+TEST(ObsTraceTest, JsonStringEscaping) {
+  EXPECT_EQ(TraceJsonString("plain"), "\"plain\"");
+  EXPECT_EQ(TraceJsonString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(TraceJsonString("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(TraceJsonString("a\nb\tc"), "\"a\\nb\\tc\"");
+}
+
+TEST(ObsTraceTest, NowMicrosAdvancesMonotonically) {
+  TraceCollector trace;
+  const uint64_t first = trace.NowMicros();
+  const uint64_t second = trace.NowMicros();
+  EXPECT_GE(second, first);
+}
+
+// ---------------------------------------------------------------- drift --
+
+TEST(ObsDriftTest, PerfectPredictionIsZeroError) {
+  MetricsRegistry registry;
+  CostDriftTracker::Options options;
+  options.prefix = "dido_t1";
+  CostDriftTracker tracker(&registry, options);
+  tracker.ObserveBatch({100.0, 200.0, 50.0}, {100.0, 200.0, 50.0});
+  EXPECT_EQ(tracker.batches(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.RollingTmaxError(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.RollingStageError(), 0.0);
+}
+
+TEST(ObsDriftTest, KnownErrorMath) {
+  MetricsRegistry registry;
+  CostDriftTracker::Options options;
+  options.prefix = "dido_t2";
+  CostDriftTracker tracker(&registry, options);
+  // Predicted {100, 200} vs observed {100, 100}: T_max error is
+  // |200-100|/100 = 1.0; stage errors are 0 and 1, mean 0.5.
+  tracker.ObserveBatch({100.0, 200.0}, {100.0, 100.0});
+  EXPECT_DOUBLE_EQ(tracker.RollingTmaxError(), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.RollingStageError(), 0.5);
+  // Gauges export the same rolling values plus the last raw T_max pair.
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("dido_t2_tmax_abs_rel_error")->Value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("dido_t2_stage_abs_rel_error")->Value(), 0.5);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("dido_t2_last_predicted_tmax_us")->Value(), 200.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("dido_t2_last_observed_tmax_us")->Value(), 100.0);
+  EXPECT_EQ(registry.GetCounter("dido_t2_batches_total")->Value(), 1u);
+}
+
+TEST(ObsDriftTest, NormalizeModeIsScaleInvariant) {
+  MetricsRegistry registry;
+  CostDriftTracker::Options options;
+  options.normalize = true;
+  options.prefix = "dido_t3";
+  CostDriftTracker tracker(&registry, options);
+  // The prediction is a uniform 1000x off (simulated us vs wall us): after
+  // the least-squares scalar fit the residual shape error is exactly zero.
+  tracker.ObserveBatch({100'000.0, 200'000.0, 50'000.0},
+                       {100.0, 200.0, 50.0});
+  EXPECT_DOUBLE_EQ(tracker.RollingTmaxError(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.RollingStageError(), 0.0);
+  // A genuine shape mismatch survives normalization.
+  tracker.ObserveBatch({100'000.0, 100'000.0}, {50.0, 150.0});
+  EXPECT_GT(tracker.RollingStageError(), 0.0);
+}
+
+TEST(ObsDriftTest, SkipsDegenerateBatches) {
+  MetricsRegistry registry;
+  CostDriftTracker::Options options;
+  options.prefix = "dido_t4";
+  CostDriftTracker tracker(&registry, options);
+  tracker.ObserveBatch({}, {});                    // empty
+  tracker.ObserveBatch({1.0, 2.0}, {1.0});         // length mismatch
+  tracker.ObserveBatch({1.0, 2.0}, {0.0, 0.0});    // all-zero observation
+  tracker.ObserveBatch({0.0, 0.0}, {1.0, 2.0});    // all-zero prediction
+  EXPECT_EQ(tracker.batches(), 0u);
+  EXPECT_EQ(registry.GetCounter("dido_t4_batches_total")->Value(), 0u);
+}
+
+TEST(ObsDriftTest, RollingWindowForgetsOldBatches) {
+  MetricsRegistry registry;
+  CostDriftTracker::Options options;
+  options.window = 2;
+  options.prefix = "dido_t5";
+  CostDriftTracker tracker(&registry, options);
+  tracker.ObserveBatch({200.0}, {100.0});  // error 1.0 — will be evicted
+  tracker.ObserveBatch({100.0}, {100.0});  // error 0.0
+  tracker.ObserveBatch({150.0}, {100.0});  // error 0.5
+  EXPECT_EQ(tracker.batches(), 3u);
+  EXPECT_DOUBLE_EQ(tracker.RollingTmaxError(), 0.25);  // mean of {0, 0.5}
+}
+
+TEST(ObsDriftTest, ConcurrentObserversStayConsistent) {
+  MetricsRegistry registry;
+  CostDriftTracker::Options options;
+  options.prefix = "dido_t6";
+  CostDriftTracker tracker(&registry, options);
+  constexpr int kThreads = 4;
+  constexpr int kBatchesPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int i = 0; i < kBatchesPerThread; ++i) {
+        tracker.ObserveBatch({120.0, 80.0}, {100.0, 80.0});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(tracker.batches(),
+            static_cast<uint64_t>(kThreads) * kBatchesPerThread);
+  EXPECT_NEAR(tracker.RollingTmaxError(), 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dido

@@ -28,6 +28,12 @@ AUDITED_FILES = [
     "src/sync/epoch.cc",
     "src/faults/fault_registry.h",
     "src/faults/fault_registry.cc",
+    "src/obs/metrics.h",
+    "src/obs/metrics.cc",
+    "src/obs/trace.h",
+    "src/obs/trace.cc",
+    "src/obs/drift.h",
+    "src/obs/drift.cc",
 ]
 
 JUSTIFICATION_WINDOW = 10  # lines of lookback for a justifying comment
