@@ -32,10 +32,13 @@ const char* Basename(const char* path) {
 }  // namespace
 
 LogSeverity MinLogSeverity() {
+  // relaxed: a free-standing verbosity threshold; a reader observing a
+  // stale level logs (or skips) a line, nothing else depends on it.
   return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
 }
 
 void SetMinLogSeverity(LogSeverity severity) {
+  // relaxed: see MinLogSeverity().
   g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
 }
 

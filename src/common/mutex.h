@@ -1,0 +1,112 @@
+#ifndef DIDO_COMMON_MUTEX_H_
+#define DIDO_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dido {
+
+// Capability-annotated wrappers over std::mutex / std::condition_variable.
+//
+// Clang's thread-safety analysis only tracks locks whose type carries the
+// `capability` attribute; std::mutex does not, so every DIDO mutex member
+// is a dido::Mutex and every acquisition goes through MutexLock (scoped,
+// the common case) or UniqueMutexLock (when the lock must pair with a
+// CondVar or be released early).  The wrappers are zero-cost: each is a
+// single std::mutex / std::unique_lock / std::condition_variable with the
+// calls forwarded inline, and the annotations compile away off-Clang.
+//
+// The analysis is intraprocedural over the *annotated* API: Lock()/Unlock()
+// bodies forwarding to the unannotated std::mutex are themselves exempt
+// (the standard Chromium/Abseil wrapper pattern).
+
+class DIDO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DIDO_ACQUIRE() { mu_.lock(); }
+  void Unlock() DIDO_RELEASE() { mu_.unlock(); }
+  bool TryLock() DIDO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Escape hatch for CondVar and std::scoped_lock interop.  Callers touch
+  // the raw handle only inside already-annotated wrappers.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Scoped lock (std::scoped_lock equivalent).  Preferred whenever the
+// critical section spans a full block.
+class DIDO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DIDO_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DIDO_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Movable/releasable lock (std::unique_lock equivalent) for CondVar waits
+// and early-release patterns.  Must be locked for its whole annotated
+// lifetime except across CondVar::Wait, which the analysis models as
+// release-and-reacquire internally (the capability stays held from the
+// caller's perspective, matching the condition-variable contract).
+class DIDO_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) DIDO_ACQUIRE(mu)
+      : lock_(mu.native_handle()) {}
+  ~UniqueMutexLock() DIDO_RELEASE() = default;
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  void Unlock() DIDO_RELEASE() { lock_.unlock(); }
+  void Lock() DIDO_ACQUIRE() { lock_.lock(); }
+
+  std::unique_lock<std::mutex>& native_handle() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable paired with UniqueMutexLock.  Wait() takes the lock
+// by reference; predicate loops stay at the call site so the guarded-field
+// reads inside the predicate are analyzed under the held capability:
+//
+//   UniqueMutexLock lock(mu_);
+//   while (queue_.empty() && !closed_) cv_.Wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `lock`, blocks, and reacquires before returning.
+  // The capability is held on entry and on exit, which is exactly what the
+  // analysis assumes for an unannotated callee, so no attribute is needed.
+  void Wait(UniqueMutexLock& lock) { cv_.wait(lock.native_handle()); }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(UniqueMutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.native_handle(), dur);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dido
+
+#endif  // DIDO_COMMON_MUTEX_H_

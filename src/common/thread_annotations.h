@@ -1,0 +1,82 @@
+#ifndef DIDO_COMMON_THREAD_ANNOTATIONS_H_
+#define DIDO_COMMON_THREAD_ANNOTATIONS_H_
+
+// Portable Clang Thread Safety Analysis annotations (ISSUE 6).
+//
+// DIDO's concurrency contracts — which mutex guards which field, which
+// private helper must be entered with which lock held — were previously
+// encoded only in comments and enforced only dynamically (TSan presets,
+// stress tests).  These macros make the contracts machine-checked at
+// compile time: under Clang with -Wthread-safety (CMake option
+// DIDO_THREAD_SAFETY, preset `thread-safety`) every violation is a build
+// error; under GCC and other compilers they expand to nothing, so the
+// annotated tree stays portable.
+//
+// Conventions (DESIGN.md section 10):
+//  * every non-atomic field of a class that owns a dido::Mutex carries
+//    DIDO_GUARDED_BY(mu) or an explicit `dido-analyze: allow(...)`
+//    justification comment (enforced by tools/dido_analyze's
+//    lock-annotation pass, so coverage cannot silently rot);
+//  * private helpers that expect a lock held are annotated
+//    DIDO_REQUIRES(mu) instead of saying "must hold mu" in prose;
+//  * lock acquisition goes through the annotated wrappers in
+//    common/mutex.h (dido::Mutex + dido::MutexLock / UniqueMutexLock),
+//    never through a raw std::mutex member — std::mutex is not a
+//    capability, so the analysis cannot see it.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DIDO_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#if !defined(DIDO_THREAD_ANNOTATION_)
+#define DIDO_THREAD_ANNOTATION_(x)  // compiles away off-Clang
+#endif
+
+// Type annotations.
+#define DIDO_CAPABILITY(x) DIDO_THREAD_ANNOTATION_(capability(x))
+#define DIDO_SCOPED_CAPABILITY DIDO_THREAD_ANNOTATION_(scoped_lockable)
+
+// Field annotations.
+#define DIDO_GUARDED_BY(x) DIDO_THREAD_ANNOTATION_(guarded_by(x))
+#define DIDO_PT_GUARDED_BY(x) DIDO_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define DIDO_ACQUIRED_BEFORE(...) \
+  DIDO_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DIDO_ACQUIRED_AFTER(...) \
+  DIDO_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Function annotations.
+#define DIDO_REQUIRES(...) \
+  DIDO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DIDO_REQUIRES_SHARED(...) \
+  DIDO_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define DIDO_ACQUIRE(...) \
+  DIDO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DIDO_ACQUIRE_SHARED(...) \
+  DIDO_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define DIDO_RELEASE(...) \
+  DIDO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DIDO_RELEASE_SHARED(...) \
+  DIDO_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define DIDO_TRY_ACQUIRE(...) \
+  DIDO_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define DIDO_EXCLUDES(...) DIDO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define DIDO_ASSERT_CAPABILITY(x) \
+  DIDO_THREAD_ANNOTATION_(assert_capability(x))
+#define DIDO_RETURN_CAPABILITY(x) DIDO_THREAD_ANNOTATION_(lock_returned(x))
+#define DIDO_NO_THREAD_SAFETY_ANALYSIS \
+  DIDO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// Epoch-pin contract marker (not a Clang attribute — the epoch is not a
+// lock).  A function annotated DIDO_REQUIRES_EPOCH dereferences
+// retire-able memory (index probes, KvObject payload reads, detach-state
+// reads) and requires the caller to hold an epoch pin: an EpochGuard /
+// EpochPin / ScopedEpochParticipant scope, or the batch pin a QueryBatch
+// carries from IN.S to RetireBatch.  tools/dido_analyze's epoch-pin pass
+// treats calls to such functions as pin-requiring and verifies every call
+// site, so the contract is machine-checked even though the compiler
+// cannot see it.  Place it after the parameter list:
+//   void TouchObject(KvObject* object) DIDO_REQUIRES_EPOCH;
+#define DIDO_REQUIRES_EPOCH
+
+#endif  // DIDO_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,10 +2,10 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace dido {
 namespace {
@@ -18,16 +18,16 @@ double PartialZetaUncached(uint64_t n, double theta);
 // 1e-9 for the cache key; the approximation error is far larger.
 double PartialZeta(uint64_t n, double theta) {
   using Key = std::pair<uint64_t, int64_t>;
-  static std::mutex* mu = new std::mutex();
+  static Mutex* mu = new Mutex();
   static std::map<Key, double>* cache = new std::map<Key, double>();
   const Key key(n, static_cast<int64_t>(theta * 1e9));
   {
-    std::lock_guard<std::mutex> lock(*mu);
+    MutexLock lock(*mu);
     auto it = cache->find(key);
     if (it != cache->end()) return it->second;
   }
   const double value = PartialZetaUncached(n, theta);
-  std::lock_guard<std::mutex> lock(*mu);
+  MutexLock lock(*mu);
   if (cache->size() > 100000) cache->clear();  // unbounded-growth backstop
   (*cache)[key] = value;
   return value;

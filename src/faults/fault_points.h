@@ -1,0 +1,61 @@
+#ifndef DIDO_FAULTS_FAULT_POINTS_H_
+#define DIDO_FAULTS_FAULT_POINTS_H_
+
+#include <string_view>
+
+// Catalog of every fault point compiled into the store.  This is the single
+// source of truth the `fault` pass of tools/dido_analyze checks against:
+//
+//  * every name passed to DIDO_FAULT_POINT / DIDO_FAULT_POINT_HIT in src/
+//    must appear in kAllFaultPoints exactly once (no orphans, no typos —
+//    an armed point that never fires because its site spells the name
+//    differently is the bug class this prevents);
+//  * every catalog entry must have at least one armed reference from
+//    tests/chaos_test.cc, so each failure mode stays rehearsed.
+//
+// Call sites deliberately pass the string literal rather than these
+// constants: the analyzer (and plain grep) can then see the name at the
+// site without resolving identifiers.  The constants exist for arming code
+// and tests, which do go through the compiler.
+//
+// Naming convention: <subsystem>.<component>.<failure>, all lower_snake.
+
+namespace dido {
+namespace faults {
+
+// Wire codec flips length fields so a response frame decodes short.
+inline constexpr std::string_view kCodecEncodeTruncate = "codec.encode.truncate";
+// Wire codec flips a payload bit (FaultHit::rand selects which).
+inline constexpr std::string_view kCodecEncodeCorrupt = "codec.encode.corrupt";
+// Simulated NIC drops an arriving frame (packet loss).
+inline constexpr std::string_view kNetFrameRingDrop = "net.frame_ring.drop";
+// Simulated NIC enqueues an arriving frame twice (retransmit duplicate).
+inline constexpr std::string_view kNetFrameRingDuplicate =
+    "net.frame_ring.duplicate";
+// Allocator reports out-of-memory regardless of actual occupancy.
+inline constexpr std::string_view kMemAllocOom = "mem.alloc.oom";
+// Live stage worker stalls FaultHit::param milliseconds (GPU hiccup).
+inline constexpr std::string_view kLiveStageStall = "live.stage.stall";
+// Index insert reports transient bucket contention (kResourceBusy).
+inline constexpr std::string_view kIndexInsertBusy = "index.insert.busy";
+// Index insert reports displacement exhaustion (kCapacityFull, terminal).
+inline constexpr std::string_view kIndexInsertCapacityFull =
+    "index.insert.capacity_full";
+
+// Every fault point above, for exhaustive arming sweeps and the analyzer's
+// uniqueness / coverage checks.  Keep sorted by name.
+inline constexpr std::string_view kAllFaultPoints[] = {
+    kCodecEncodeCorrupt,        //
+    kCodecEncodeTruncate,       //
+    kIndexInsertBusy,           //
+    kIndexInsertCapacityFull,   //
+    kLiveStageStall,            //
+    kMemAllocOom,               //
+    kNetFrameRingDrop,          //
+    kNetFrameRingDuplicate,     //
+};
+
+}  // namespace faults
+}  // namespace dido
+
+#endif  // DIDO_FAULTS_FAULT_POINTS_H_

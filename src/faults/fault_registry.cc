@@ -28,7 +28,7 @@ double FaultRegistry::NextUniform(PointState* state) {
 }
 
 void FaultRegistry::Arm(const std::string& point, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) {
     it = points_.emplace(point, PointState()).first;
@@ -88,21 +88,21 @@ void FaultRegistry::ArmWindow(const std::string& point, double window_seconds,
 }
 
 void FaultRegistry::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (points_.erase(point) > 0) {
     armed_points_.fetch_sub(1, std::memory_order_release);
   }
 }
 
 void FaultRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_points_.fetch_sub(points_.size(), std::memory_order_release);
   points_.clear();
 }
 
 bool FaultRegistry::ShouldFire(std::string_view point, FaultHit* hit) {
   if (!armed()) return false;  // disarmed fast path: one atomic load
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return false;
   PointState& state = it->second;
@@ -148,19 +148,19 @@ bool FaultRegistry::ShouldFire(std::string_view point, FaultHit* hit) {
 }
 
 uint64_t FaultRegistry::fire_count(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it != points_.end() ? it->second.fires : 0;
 }
 
 uint64_t FaultRegistry::evaluation_count(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it != points_.end() ? it->second.evaluations : 0;
 }
 
 std::vector<FaultRegistry::PointCounts> FaultRegistry::SnapshotCounts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<PointCounts> out;
   out.reserve(points_.size());
   for (const auto& [point, state] : points_) {

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dido {
 
@@ -131,11 +133,13 @@ class FaultRegistry {
   // Uniform double in [0, 1).
   static double NextUniform(PointState* state);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // std::less<> enables string_view lookups without a temporary string.
-  std::map<std::string, PointState, std::less<>> points_;
+  std::map<std::string, PointState, std::less<>> points_ DIDO_GUARDED_BY(mu_);
   // Metrics registry this instance registered a collector with (see
-  // RegisterMetrics); cleared on destruction.
+  // RegisterMetrics); cleared on destruction.  Written only from
+  // RegisterMetrics, which callers invoke before/after concurrent use.
+  // dido-analyze: allow(lock): registration happens-before/after armed use
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   // Fast-path gate: number of armed points.  Non-relaxed (acquire/release)
   // so a ShouldFire that observes >0 also observes the map insertion made

@@ -17,12 +17,15 @@ Random& ThreadRng() {
 
 }  // namespace
 
-CuckooHashTable::CuckooHashTable(const Options& options) : options_(options) {
-  num_buckets_ = std::bit_ceil(std::max<uint64_t>(options.num_buckets, 2));
-  bucket_mask_ = num_buckets_ - 1;
-  buckets_ = std::make_unique<Bucket[]>(num_buckets_);
+CuckooHashTable::CuckooHashTable(const Options& options)
+    : num_buckets_(std::bit_ceil(std::max<uint64_t>(options.num_buckets, 2))),
+      bucket_mask_(num_buckets_ - 1),
+      buckets_(std::make_unique<Bucket[]>(num_buckets_)),
+      options_(options) {
   for (uint64_t b = 0; b < num_buckets_; ++b) {
     for (int s = 0; s < kSlotsPerBucket; ++s) {
+      // relaxed: zero-filling slots before the table is published to any
+      // other thread; construction happens-before all concurrent access.
       buckets_[b].slots[s].store(0, std::memory_order_relaxed);
     }
   }
@@ -89,6 +92,7 @@ int CuckooHashTable::Search(uint64_t hash, KvObject** candidates,
       }
     }
     if (b == b1 && found > 0) {
+      // relaxed: statistic only, as for every counters_ update.
       counters_.search_primary_hits.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -144,6 +148,7 @@ Status CuckooHashTable::MakeRoom(uint64_t b1, uint64_t b2, uint64_t* out_bucket,
       buckets_[alt].slots[alt_slot].store(0, std::memory_order_release);
       return -1;
     }
+    // relaxed: statistic; slot movement is published by the CAS above.
     counters_.displacements.fetch_add(1, std::memory_order_relaxed);
     return victim_slot;
   };
@@ -168,6 +173,7 @@ Status CuckooHashTable::Insert(uint64_t hash, KvObject* object,
   if (DIDO_FAULT_POINT_HIT("index.insert.capacity_full", &fault)) {
     // Injected displacement-bound exhaustion: terminal for this insert, so
     // it must surface as a failed insert and an error response upstream.
+    // (relaxed: statistic only, as for every counters_ update.)
     counters_.failed_inserts.fetch_add(1, std::memory_order_relaxed);
     return Status::CapacityFull("injected displacement exhaustion");
   }
@@ -176,6 +182,9 @@ Status CuckooHashTable::Insert(uint64_t hash, KvObject* object,
   const uint64_t b2 = AlternateBucket(b1, signature);
   const uint64_t new_entry = PackEntry(signature, object);
   if (replaced != nullptr) *replaced = nullptr;
+  // Counter and live_entries_ updates below are relaxed throughout: they
+  // are monotonic statistics, never used to order or publish index state
+  // (publication is the acq_rel CAS on the slot itself).
   counters_.inserts.fetch_add(1, std::memory_order_relaxed);
 
   // Pass 1: replace a live entry for the same key (SET overwrite semantics).
@@ -202,6 +211,7 @@ Status CuckooHashTable::Insert(uint64_t hash, KvObject* object,
       if (buckets_[b].slots[s].load(std::memory_order_acquire) != 0) continue;
       if (buckets_[b].slots[s].compare_exchange_strong(
               expected, new_entry, std::memory_order_acq_rel)) {
+        // relaxed: statistic (see above).
         live_entries_.fetch_add(1, std::memory_order_relaxed);
         return Status::Ok();
       }
@@ -209,15 +219,17 @@ Status CuckooHashTable::Insert(uint64_t hash, KvObject* object,
   }
 
   // Pass 3: displacement under the table-wide cuckoo lock.
-  std::lock_guard<std::mutex> lock(displacement_mu_);
+  MutexLock lock(displacement_mu_);
   uint64_t bucket = 0;
   int slot = 0;
   Status status = MakeRoom(b1, b2, &bucket, &slot);
   if (!status.ok()) {
+    // relaxed: statistic (see above).
     counters_.failed_inserts.fetch_add(1, std::memory_order_relaxed);
     return status;
   }
   buckets_[bucket].slots[slot].store(new_entry, std::memory_order_release);
+  // relaxed: statistic (see above).
   live_entries_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -228,6 +240,8 @@ Status CuckooHashTable::Delete(uint64_t hash, std::string_view key,
   const uint64_t b1 = PrimaryBucket(hash);
   const uint64_t b2 = AlternateBucket(b1, signature);
   if (removed != nullptr) *removed = nullptr;
+  // Counter and live_entries_ updates are relaxed: statistics only, the
+  // unlink itself is published by the acq_rel CAS on the slot.
   counters_.deletes.fetch_add(1, std::memory_order_relaxed);
   for (uint64_t b : {b1, b2}) {
     counters_.delete_buckets_probed.fetch_add(1, std::memory_order_relaxed);
@@ -238,6 +252,7 @@ Status CuckooHashTable::Delete(uint64_t hash, std::string_view key,
       if (object == exclude || object->Key() != key) continue;
       if (buckets_[b].slots[s].compare_exchange_strong(
               entry, 0, std::memory_order_acq_rel)) {
+        // relaxed: statistic; the unlink is published by the CAS above.
         live_entries_.fetch_sub(1, std::memory_order_relaxed);
         if (removed != nullptr) *removed = object;
         return Status::Ok();
@@ -257,6 +272,7 @@ Status CuckooHashTable::Remove(uint64_t hash, KvObject* object) {
       if (entry == 0 || EntryObject(entry) != object) continue;
       if (buckets_[b].slots[s].compare_exchange_strong(
               entry, 0, std::memory_order_acq_rel)) {
+        // relaxed: statistic; the unlink is published by the CAS above.
         live_entries_.fetch_sub(1, std::memory_order_relaxed);
         return Status::Ok();
       }
@@ -267,6 +283,8 @@ Status CuckooHashTable::Remove(uint64_t hash, KvObject* object) {
 
 CuckooHashTable::Counters CuckooHashTable::counters() const {
   Counters snapshot;
+  // relaxed loads throughout: each statistic is individually consistent;
+  // the snapshot is not a linearizable cut (see header comment).
   snapshot.searches = counters_.searches.load(std::memory_order_relaxed);
   snapshot.search_buckets_probed =
       counters_.search_buckets_probed.load(std::memory_order_relaxed);
@@ -275,6 +293,7 @@ CuckooHashTable::Counters CuckooHashTable::counters() const {
   snapshot.inserts = counters_.inserts.load(std::memory_order_relaxed);
   snapshot.insert_buckets_probed =
       counters_.insert_buckets_probed.load(std::memory_order_relaxed);
+  // relaxed: see above.
   snapshot.displacements =
       counters_.displacements.load(std::memory_order_relaxed);
   snapshot.deletes = counters_.deletes.load(std::memory_order_relaxed);
@@ -286,6 +305,8 @@ CuckooHashTable::Counters CuckooHashTable::counters() const {
 }
 
 void CuckooHashTable::ResetCounters() {
+  // relaxed stores throughout: statistics reset between measurement
+  // phases; nothing is ordered against them.
   counters_.searches.store(0, std::memory_order_relaxed);
   counters_.search_buckets_probed.store(0, std::memory_order_relaxed);
   counters_.search_primary_hits.store(0, std::memory_order_relaxed);
@@ -298,6 +319,7 @@ void CuckooHashTable::ResetCounters() {
 }
 
 uint64_t CuckooHashTable::LiveEntries() const {
+  // relaxed: approximate occupancy statistic, orders nothing.
   return live_entries_.load(std::memory_order_relaxed);
 }
 

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "mem/kv_object.h"
 
@@ -68,25 +69,33 @@ class CuckooHashTable {
   // --- Index operations (the IN / Search / Insert / Delete tasks) ---
 
   // Collects up to `max_candidates` objects whose slot signature matches.
-  // Returns the number of candidates written to `candidates`.
-  int Search(uint64_t hash, KvObject** candidates, int max_candidates) const;
+  // Returns the number of candidates written to `candidates`.  Epoch
+  // contract: the returned pointers are retire-able — the caller must hold
+  // a pin from before this call until it is done dereferencing them.
+  int Search(uint64_t hash, KvObject** candidates, int max_candidates) const
+      DIDO_REQUIRES_EPOCH;
 
   // Search + full-key verification in one call (convenience path used when
-  // IN and KC are fused into the same pipeline stage).
-  KvObject* SearchVerified(uint64_t hash, std::string_view key) const;
+  // IN and KC are fused into the same pipeline stage).  Epoch contract: as
+  // Search — dereferences candidate keys and returns a retire-able pointer.
+  KvObject* SearchVerified(uint64_t hash, std::string_view key) const
+      DIDO_REQUIRES_EPOCH;
 
   // Publishes `object` under `hash`.  If a live entry with the same
   // signature+key exists it is replaced and the previous object is returned
   // through `replaced` (caller frees it).  Fails with kCapacityFull when the
-  // displacement bound is exceeded.
-  Status Insert(uint64_t hash, KvObject* object, KvObject** replaced);
+  // displacement bound is exceeded.  Epoch contract: compares resident
+  // entries' full keys (dereferences retire-able objects) while probing.
+  Status Insert(uint64_t hash, KvObject* object, KvObject** replaced)
+      DIDO_REQUIRES_EPOCH;
 
   // Removes the entry for `key`; returns the unlinked object through
   // `removed` (caller frees it).  kNotFound if absent.  Entries pointing at
   // `exclude` are skipped — the SET path uses this to unlink a key's old
-  // version without racing its own freshly inserted one.
+  // version without racing its own freshly inserted one.  Epoch contract:
+  // as Insert — full-key comparison dereferences resident objects.
   Status Delete(uint64_t hash, std::string_view key, KvObject** removed,
-                const KvObject* exclude = nullptr);
+                const KvObject* exclude = nullptr) DIDO_REQUIRES_EPOCH;
 
   // Removes the entry pointing at exactly `object` (eviction path, where the
   // victim identity is known).  kNotFound if the index no longer holds it.
@@ -122,10 +131,9 @@ class CuckooHashTable {
   uint64_t AlternateBucket(uint64_t bucket, uint16_t signature) const;
 
   // Displaces entries along a cuckoo path to open a slot in bucket `b1` or
-  // `b2`.  Must hold displacement_mu_.  Returns the freed (bucket, slot) or
-  // a kCapacityFull error.
+  // `b2`.  Returns the freed (bucket, slot) or a kCapacityFull error.
   Status MakeRoom(uint64_t b1, uint64_t b2, uint64_t* out_bucket,
-                  int* out_slot);
+                  int* out_slot) DIDO_REQUIRES(displacement_mu_);
 
   // Internal counter representation: one relaxed atomic per statistic, so
   // concurrent index operations never race on the bookkeeping (TSan-clean)
@@ -142,13 +150,17 @@ class CuckooHashTable {
     std::atomic<uint64_t> failed_inserts{0};
   };
 
-  uint64_t num_buckets_;  // power of two
-  uint64_t bucket_mask_;
+  const uint64_t num_buckets_;  // power of two
+  const uint64_t bucket_mask_;
+  // Bucket array: allocated once at construction; the slots inside are
+  // lock-free atomics published by CAS, deliberately NOT guarded by
+  // displacement_mu_ (Search never locks — paper Section III-B2).
+  // dido-analyze: allow(lock): set once at construction, then read-only
   std::unique_ptr<Bucket[]> buckets_;
   std::atomic<uint64_t> live_entries_{0};
-  std::mutex displacement_mu_;  // serializes cuckoo path moves
+  Mutex displacement_mu_;  // serializes cuckoo path moves
   mutable AtomicCounters counters_;
-  Options options_;
+  const Options options_;
 };
 
 }  // namespace dido

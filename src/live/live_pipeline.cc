@@ -54,46 +54,54 @@ void TraceComplete(obs::TraceCollector* trace, std::string name,
 
 }  // namespace
 
+// Predicate waits are written as explicit while loops (not the
+// std::condition_variable predicate overloads) so the guarded-field reads
+// happen in a scope the thread-safety analysis sees the capability held in.
 bool LivePipeline::BatchQueue::Push(std::unique_ptr<QueryBatch> batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_push_.wait(lock, [this] { return queue_.size() < capacity_ || closed_; });
+  UniqueMutexLock lock(mu_);
+  while (queue_.size() >= capacity_ && !closed_) cv_push_.Wait(lock);
   if (closed_) return false;
   queue_.push_back(std::move(batch));
-  cv_pop_.notify_one();
+  cv_pop_.NotifyOne();
   return true;
 }
 
 std::unique_ptr<QueryBatch> LivePipeline::BatchQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_pop_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  UniqueMutexLock lock(mu_);
+  while (queue_.empty() && !closed_) cv_pop_.Wait(lock);
   if (queue_.empty()) return nullptr;  // closed and drained
   std::unique_ptr<QueryBatch> batch = std::move(queue_.front());
   queue_.pop_front();
-  cv_push_.notify_one();
+  cv_push_.NotifyOne();
   return batch;
 }
 
 LivePipeline::BatchQueue::SpaceWait LivePipeline::BatchQueue::WaitForSpace(
     std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto ready = [this] { return queue_.size() < capacity_ || closed_; };
+  using Clock = std::chrono::steady_clock;
+  UniqueMutexLock lock(mu_);
   if (timeout.count() <= 0) {
-    cv_push_.wait(lock, ready);
-  } else if (!cv_push_.wait_for(lock, timeout, ready)) {
-    return SpaceWait::kTimeout;
+    while (queue_.size() >= capacity_ && !closed_) cv_push_.Wait(lock);
+  } else {
+    const Clock::time_point deadline = Clock::now() + timeout;
+    while (queue_.size() >= capacity_ && !closed_) {
+      const Clock::time_point now = Clock::now();
+      if (now >= deadline) return SpaceWait::kTimeout;
+      cv_push_.WaitFor(lock, deadline - now);
+    }
   }
   return closed_ ? SpaceWait::kClosed : SpaceWait::kReady;
 }
 
 void LivePipeline::BatchQueue::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
-  cv_push_.notify_all();
-  cv_pop_.notify_all();
+  cv_push_.NotifyAll();
+  cv_pop_.NotifyAll();
 }
 
 size_t LivePipeline::BatchQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -193,7 +201,7 @@ void LivePipeline::ObserveDrift(const QueryBatch& batch) {
 }
 
 Status LivePipeline::Start(TrafficSource* source) {
-  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
+  MutexLock lifecycle_lock(lifecycle_mu_);
   if (running_.exchange(true)) {
     return Status::AlreadyExists("pipeline already running");
   }
@@ -204,7 +212,7 @@ Status LivePipeline::Start(TrafficSource* source) {
   {
     // Collect() may run concurrently with Start from another thread; the
     // stats reset and epoch must be published under the same lock it reads.
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_ = Stats();
     responses_.clear();
     start_time_ = std::chrono::steady_clock::now();
@@ -235,7 +243,7 @@ Status LivePipeline::Start(TrafficSource* source) {
 }
 
 void LivePipeline::Stop() {
-  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
+  MutexLock lifecycle_lock(lifecycle_mu_);
   if (!running_.load(std::memory_order_acquire)) return;
   stop_requested_.store(true, std::memory_order_release);
   for (std::thread& thread : threads_) {
@@ -283,7 +291,7 @@ void LivePipeline::RetireAndCount(QueryBatch* batch, bool degraded_inline) {
   Bump(error_responses_counter_, m.error_responses);
   if (degraded_inline) Bump(degraded_batches_counter_);
   ObserveDrift(*batch);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   stats_.batches += 1;
   stats_.queries += m.num_queries;
   stats_.hits += m.hits;
@@ -332,7 +340,7 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
       // Admission accounting happens here, once per parsed batch, whether
       // the batch is later shed or retired — the two sides of the
       // exactly-once invariant.
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.degradation.ingested_queries += batch->measurements.num_queries;
       stats_.degradation.malformed_frames +=
           batch->measurements.malformed_frames;
@@ -387,7 +395,7 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
       Bump(shed_batches_counter_);
       Bump(shed_queries_counter_, batch->measurements.num_queries);
       TraceComplete(trace, "shed", "queue", admission_trace_start, 0);
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.degradation.shed_batches += 1;
       stats_.degradation.shed_queries += batch->measurements.num_queries;
       continue;
@@ -592,7 +600,7 @@ void LivePipeline::WatchdogLoop() {
       Publish(degraded_gauge_, 1.0);
       TraceComplete(trace, "failover", "watchdog",
                     trace != nullptr ? trace->NowMicros() : 0, watchdog_lane);
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.degradation.failovers += 1;
       continue;
     }
@@ -627,7 +635,7 @@ void LivePipeline::WatchdogLoop() {
         TraceComplete(trace, "repromote", "watchdog",
                       trace != nullptr ? trace->NowMicros() : 0,
                       watchdog_lane);
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         stats_.degradation.repromotions += 1;
       }
     }
@@ -635,7 +643,7 @@ void LivePipeline::WatchdogLoop() {
 }
 
 LivePipeline::Stats LivePipeline::Collect() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   Stats stats = stats_;
   if (options_.response_ring != nullptr) {
     stats.degradation.responses_dropped =
@@ -653,7 +661,7 @@ LivePipeline::Stats LivePipeline::Collect() const {
 }
 
 std::vector<Frame> LivePipeline::TakeResponses() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   std::vector<Frame> out = std::move(responses_);
   responses_.clear();
   return out;

@@ -3,14 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "net/sim_nic.h"
 #include "pipeline/batch.h"
@@ -156,11 +156,11 @@ class LivePipeline {
   // (which must outlive the pipeline; it is accessed only from the ingress
   // thread).  Fails if already running.  Thread-safe against concurrent
   // Start/Stop (serialized on an internal lifecycle mutex).
-  Status Start(TrafficSource* source);
+  Status Start(TrafficSource* source) DIDO_EXCLUDES(lifecycle_mu_);
 
   // Stops ingesting, drains in-flight batches, joins all threads.
   // Idempotent and safe to call from multiple threads.
-  void Stop();
+  void Stop() DIDO_EXCLUDES(lifecycle_mu_);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -172,11 +172,11 @@ class LivePipeline {
   }
 
   // Snapshot of the retired-batch statistics.
-  Stats Collect() const;
+  Stats Collect() const DIDO_EXCLUDES(stats_mu_);
 
   // Response frames of retired batches (only when keep_responses is set
   // and no response_ring is configured; call after Stop()).
-  std::vector<Frame> TakeResponses();
+  std::vector<Frame> TakeResponses() DIDO_EXCLUDES(stats_mu_);
 
  private:
   // Bounded MPMC queue of batches between adjacent stages.
@@ -199,12 +199,12 @@ class LivePipeline {
     size_t size() const;
 
    private:
-    size_t capacity_;
-    mutable std::mutex mu_;
-    std::condition_variable cv_push_;
-    std::condition_variable cv_pop_;
-    std::deque<std::unique_ptr<QueryBatch>> queue_;
-    bool closed_ = false;
+    const size_t capacity_;
+    mutable Mutex mu_;
+    CondVar cv_push_;
+    CondVar cv_pop_;
+    std::deque<std::unique_ptr<QueryBatch>> queue_ DIDO_GUARDED_BY(mu_);
+    bool closed_ DIDO_GUARDED_BY(mu_) = false;
   };
 
   // Liveness signal of one stage thread, sampled by the watchdog.  All
@@ -236,34 +236,45 @@ class LivePipeline {
   // ingress thread's inline (single-stage / degraded) paths.
   void RetireAndCount(QueryBatch* batch, bool degraded_inline);
 
-  KvRuntime* runtime_;
-  PipelineConfig config_;
-  Options options_;
+  KvRuntime* const runtime_;
+  const PipelineConfig config_;
+  const Options options_;
+  // Stage plans: derived from config_ once at construction, read-only after.
+  // dido-analyze: begin-allow(lock): set once at construction, then read-only
   std::vector<StageSpec> stages_;
   std::vector<StageSpec> degraded_stages_;
+  // dido-analyze: end-allow(lock)
 
   // Serializes Start/Stop so two threads cannot join the same std::thread
   // objects or tear queues_ down concurrently.
-  std::mutex lifecycle_mu_;
+  Mutex lifecycle_mu_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   // Watchdog-owned failover flag, read by the ingress thread each batch.
   // Relaxed everywhere (see degraded()).
   std::atomic<bool> degraded_{false};
+  // queues_ / health_ are (re)built in Start before any worker thread is
+  // spawned and torn down in Stop after every worker joined, both under
+  // lifecycle_mu_; worker threads read them without the lock because thread
+  // creation/join orders the accesses.
+  // dido-analyze: begin-allow(lock): published before spawn, torn down after join
   std::vector<std::unique_ptr<BatchQueue>> queues_;  // queues_[i] feeds stage i+1
   std::vector<std::unique_ptr<StageHealth>> health_;  // health_[i] = stage i
-  std::vector<std::thread> threads_;
-  uint64_t sequence_ = 0;  // ingress thread only
+  // dido-analyze: end-allow(lock)
+  std::vector<std::thread> threads_ DIDO_GUARDED_BY(lifecycle_mu_);
+  // dido-analyze: allow(lock): ingress thread only
+  uint64_t sequence_ = 0;
 
   // Guards stats_, responses_ and start_time_ (written on Start, by the
   // retiring stage thread, and read by Collect from any thread).
-  mutable std::mutex stats_mu_;
-  Stats stats_;
-  std::vector<Frame> responses_;
-  std::chrono::steady_clock::time_point start_time_;
+  mutable Mutex stats_mu_;
+  Stats stats_ DIDO_GUARDED_BY(stats_mu_);
+  std::vector<Frame> responses_ DIDO_GUARDED_BY(stats_mu_);
+  std::chrono::steady_clock::time_point start_time_
+      DIDO_GUARDED_BY(stats_mu_);
   // response_ring->dropped() at Start, so Collect reports this run's drops
   // even when the caller reuses one ring across runs.
-  uint64_t ring_dropped_at_start_ = 0;
+  uint64_t ring_dropped_at_start_ DIDO_GUARDED_BY(stats_mu_) = 0;
 
   // --- observability handles (resolved once in SetupObservability; all
   // null when options_.metrics is null) ---
@@ -272,6 +283,7 @@ class LivePipeline {
     obs::AtomicHistogram* queue_wait_us = nullptr;
     obs::Counter* batches = nullptr;
   };
+  // dido-analyze: begin-allow(lock): set once at construction, then read-only
   std::vector<StageMetrics> stage_metrics_;   // indexed by stage
   std::vector<obs::Gauge*> queue_depth_gauges_;  // gauge i = queues_[i]
   obs::AtomicHistogram* degraded_execute_us_ = nullptr;
@@ -288,6 +300,7 @@ class LivePipeline {
   obs::Counter* degraded_batches_counter_ = nullptr;
   obs::Gauge* degraded_gauge_ = nullptr;
   std::unique_ptr<obs::CostDriftTracker> drift_;
+  // dido-analyze: end-allow(lock)
 };
 
 }  // namespace dido

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "mem/slab_allocator.h"
 
 namespace dido {
@@ -64,7 +65,11 @@ class MemoryManager {
   // because its Insert failed).  Epoch mode: detaches the object and
   // quarantines it; a no-op when a concurrent eviction already detached it
   // (the eviction path owns its retirement).  Legacy mode: immediate free.
-  void RetireObject(KvObject* object);
+  //
+  // Epoch contract: reads the victim's header (detach flag) while the
+  // object may concurrently be evicted, so the caller must still hold the
+  // pin under which it unlinked the object from the index.
+  void RetireObject(KvObject* object) DIDO_REQUIRES_EPOCH;
 
   // Quarantines an eviction victim that AllocateObject already detached.
   // Call only after the victim's stale index entry has been removed, so no
@@ -78,8 +83,10 @@ class MemoryManager {
     failed_allocations_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // GET path: LRU bump.
-  void TouchObject(KvObject* object);
+  // GET path: LRU bump.  Epoch contract: the object is a probe result that
+  // a concurrent eviction may detach, so the caller's pin must span the
+  // call.
+  void TouchObject(KvObject* object) DIDO_REQUIRES_EPOCH;
 
   SlabAllocator& allocator() { return allocator_; }
 
@@ -95,6 +102,7 @@ class MemoryManager {
     return snapshot;
   }
   void ResetCounters() {
+    // relaxed: statistics reset between measurement phases; orders nothing.
     allocations_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
     frees_.store(0, std::memory_order_relaxed);

@@ -30,6 +30,11 @@ SlabAllocator::SlabAllocator(const Options& options) : options_(options) {
 SlabAllocator::~SlabAllocator() = default;
 
 int SlabAllocator::ClassForSize(size_t footprint) const {
+  MutexLock lock(mu_);
+  return ClassForSizeLocked(footprint);
+}
+
+int SlabAllocator::ClassForSizeLocked(size_t footprint) const {
   for (size_t i = 0; i < classes_.size(); ++i) {
     if (classes_[i].chunk_bytes >= footprint) return static_cast<int>(i);
   }
@@ -79,12 +84,11 @@ Result<KvObject*> SlabAllocator::Allocate(std::string_view key,
                                           EvictionMode mode) {
   const size_t footprint = KvObject::FootprintFor(
       static_cast<uint32_t>(key.size()), static_cast<uint32_t>(value.size()));
-  const int class_index = ClassForSize(footprint);
+  MutexLock lock(mu_);
+  const int class_index = ClassForSizeLocked(footprint);
   if (class_index < 0) {
     return Status::InvalidArgument("object larger than the largest slab class");
   }
-
-  std::lock_guard<std::mutex> lock(mu_);
   SlabClass& cls = classes_[static_cast<size_t>(class_index)];
 
   if (cls.free_chunks.empty() && !GrowClassLocked(cls)) {
@@ -135,7 +139,7 @@ Result<KvObject*> SlabAllocator::Allocate(std::string_view key,
 }
 
 void SlabAllocator::Free(KvObject* object) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DIDO_CHECK_EQ(object->flags & KvObject::kFlagDetached, 0)
       << "Free on a detached object; use ReleaseDetached";
   SlabClass& cls = classes_[object->slab_class];
@@ -146,7 +150,7 @@ void SlabAllocator::Free(KvObject* object) {
 }
 
 void SlabAllocator::Touch(KvObject* object) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // A detached object is out of the LRU list; unlinking it again would
   // corrupt the list heads (a GET can race the eviction of its own hit).
   if ((object->flags & KvObject::kFlagDetached) != 0) return;
@@ -156,7 +160,7 @@ void SlabAllocator::Touch(KvObject* object) {
 }
 
 bool SlabAllocator::TryDetach(KvObject* object) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if ((object->flags & KvObject::kFlagDetached) != 0) return false;
   SlabClass& cls = classes_[object->slab_class];
   LruUnlink(cls, object);
@@ -167,7 +171,7 @@ bool SlabAllocator::TryDetach(KvObject* object) {
 }
 
 void SlabAllocator::ReleaseDetached(KvObject* object) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DIDO_CHECK_NE(object->flags & KvObject::kFlagDetached, 0)
       << "ReleaseDetached on an object that was never detached";
   SlabClass& cls = classes_[object->slab_class];
@@ -177,7 +181,7 @@ void SlabAllocator::ReleaseDetached(KvObject* object) {
 }
 
 SlabAllocator::Stats SlabAllocator::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats stats;
   stats.arena_bytes = options_.arena_bytes;
   stats.used_bytes = arena_offset_;
@@ -200,7 +204,8 @@ SlabAllocator::Stats SlabAllocator::GetStats() const {
 uint64_t SlabAllocator::CapacityForObject(uint32_t key_size,
                                           uint32_t value_size) const {
   const size_t footprint = KvObject::FootprintFor(key_size, value_size);
-  const int class_index = ClassForSize(footprint);
+  MutexLock lock(mu_);
+  const int class_index = ClassForSizeLocked(footprint);
   if (class_index < 0) return 0;
   const size_t chunk = classes_[static_cast<size_t>(class_index)].chunk_bytes;
   const uint64_t pages = options_.arena_bytes / options_.page_bytes;

@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "mem/kv_object.h"
 
@@ -114,10 +115,13 @@ class SlabAllocator {
   void ReleaseDetached(KvObject* object);
 
   // Number of size classes.
-  size_t num_classes() const { return classes_.size(); }
+  size_t num_classes() const DIDO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return classes_.size();
+  }
 
   // Index of the class an object of `footprint` bytes lands in, or -1.
-  int ClassForSize(size_t footprint) const;
+  int ClassForSize(size_t footprint) const DIDO_EXCLUDES(mu_);
 
   Stats GetStats() const;
 
@@ -139,18 +143,24 @@ class SlabAllocator {
 
   // Assigns one fresh page to `cls`, splitting it into free chunks.
   // Returns false when the arena is exhausted.
-  bool GrowClassLocked(SlabClass& cls);
+  bool GrowClassLocked(SlabClass& cls) DIDO_REQUIRES(mu_);
+
+  // ClassForSize's body, for callers already under the lock.
+  int ClassForSizeLocked(size_t footprint) const DIDO_REQUIRES(mu_);
 
   // Unlinks `object` from its class LRU list.
   static void LruUnlink(SlabClass& cls, KvObject* object);
   // Pushes `object` to the MRU end.
   static void LruPushFront(SlabClass& cls, KvObject* object);
 
-  Options options_;
+  const Options options_;
+  // Arena storage: allocated once in the constructor; the pointer itself
+  // is never reassigned (chunk contents are handed out under mu_).
+  // dido-analyze: allow(lock): set once at construction, then read-only
   std::unique_ptr<uint8_t[]> arena_;
-  size_t arena_offset_ = 0;  // bump pointer for page assignment
-  std::vector<SlabClass> classes_;
-  mutable std::mutex mu_;
+  size_t arena_offset_ DIDO_GUARDED_BY(mu_) = 0;  // page bump pointer
+  std::vector<SlabClass> classes_ DIDO_GUARDED_BY(mu_);
+  mutable Mutex mu_;
 };
 
 }  // namespace dido

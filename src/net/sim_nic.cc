@@ -35,12 +35,12 @@ bool FrameRing::Push(Frame frame) {
   FaultHit hit;
   if (DIDO_FAULT_POINT_HIT("net.frame_ring.drop", &hit)) {
     // Injected transport loss: the frame vanishes as if the wire ate it.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     dropped_ += 1;
     return false;
   }
   const bool duplicate = DIDO_FAULT_POINT_HIT("net.frame_ring.duplicate", &hit);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (duplicate && frames_.size() + 1 < capacity_) {
     frames_.push_back(frame);  // injected duplicate delivery (copy)
   }
@@ -59,7 +59,7 @@ bool FrameRing::Push(Frame frame) {
 }
 
 std::optional<Frame> FrameRing::Pop() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (frames_.empty()) return std::nullopt;
   Frame frame = std::move(frames_.front());
   frames_.pop_front();
@@ -67,7 +67,7 @@ std::optional<Frame> FrameRing::Pop() {
 }
 
 size_t FrameRing::PopBatch(size_t max_frames, std::vector<Frame>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t popped = 0;
   while (popped < max_frames && !frames_.empty()) {
     out->push_back(std::move(frames_.front()));
@@ -78,12 +78,12 @@ size_t FrameRing::PopBatch(size_t max_frames, std::vector<Frame>* out) {
 }
 
 size_t FrameRing::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return frames_.size();
 }
 
 uint64_t FrameRing::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 

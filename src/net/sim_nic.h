@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/codec.h"
 #include "workload/workload.h"
 
@@ -73,13 +74,16 @@ class FrameRing {
   void RegisterMetrics(obs::MetricsRegistry* registry, std::string_view name);
 
  private:
-  size_t capacity_;
-  OverflowPolicy policy_;
-  mutable std::mutex mu_;
-  std::deque<Frame> frames_;
-  uint64_t dropped_ = 0;
-  // Exposition-only state (set once before concurrent use).
+  const size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable Mutex mu_;
+  std::deque<Frame> frames_ DIDO_GUARDED_BY(mu_);
+  uint64_t dropped_ DIDO_GUARDED_BY(mu_) = 0;
+  // Exposition-only state: written by RegisterMetrics before concurrent use
+  // (or from the destructor, after it), read by the collector lambda.
+  // dido-analyze: allow(lock): registration happens-before/after ring use
   obs::MetricsRegistry* metrics_registry_ = nullptr;
+  // dido-analyze: allow(lock): set once at registration, then read-only
   std::string metric_ring_name_;
 };
 

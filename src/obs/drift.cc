@@ -88,7 +88,7 @@ void CostDriftTracker::ObserveBatch(
   double rolling_tmax;
   double rolling_stage;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PushWindowed(&tmax_errors_, tmax_error);
     PushWindowed(&stage_errors_, stage_error);
     observed_batches_ += 1;
@@ -104,17 +104,17 @@ void CostDriftTracker::ObserveBatch(
 }
 
 double CostDriftTracker::RollingTmaxError() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return Mean(tmax_errors_);
 }
 
 double CostDriftTracker::RollingStageError() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return Mean(stage_errors_);
 }
 
 uint64_t CostDriftTracker::batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return observed_batches_;
 }
 

@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace dido {
@@ -59,19 +60,24 @@ class CostDriftTracker {
   uint64_t batches() const;
 
  private:
-  void PushWindowed(std::deque<double>* window, double value);
+  void PushWindowed(std::deque<double>* window, double value)
+      DIDO_REQUIRES(mu_);
 
-  Options options_;
+  const Options options_;
+  // Metric handles: resolved once in the constructor, immutable afterwards
+  // (the pointees are internally thread-safe).
+  // dido-analyze: begin-allow(lock): set once at construction, then read-only
   Counter* batches_counter_;
   Gauge* tmax_error_gauge_;
   Gauge* stage_error_gauge_;
   Gauge* last_predicted_tmax_;
   Gauge* last_observed_tmax_;
+  // dido-analyze: end-allow(lock)
 
-  mutable std::mutex mu_;
-  std::deque<double> tmax_errors_;
-  std::deque<double> stage_errors_;
-  uint64_t observed_batches_ = 0;
+  mutable Mutex mu_;
+  std::deque<double> tmax_errors_ DIDO_GUARDED_BY(mu_);
+  std::deque<double> stage_errors_ DIDO_GUARDED_BY(mu_);
+  uint64_t observed_batches_ DIDO_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

@@ -164,7 +164,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
                                                       Kind kind,
                                                       std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = metrics_.try_emplace(name);
   Entry& entry = it->second;
   if (inserted) {
@@ -204,17 +204,17 @@ AtomicHistogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 void MetricsRegistry::RegisterCollector(const std::string& id,
                                         CollectorFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collectors_[id] = std::move(fn);
 }
 
 void MetricsRegistry::UnregisterCollector(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collectors_.erase(id);
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return metrics_.size();
 }
 
@@ -223,7 +223,7 @@ std::vector<Sample> MetricsRegistry::CollectSamples() const {
   // registry cannot deadlock against the exposition lock.
   std::vector<CollectorFn> fns;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fns.reserve(collectors_.size());
     for (const auto& [id, fn] : collectors_) fns.push_back(fn);
   }
@@ -253,7 +253,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
   };
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, entry] : metrics_) {
       std::string_view base;
       std::string_view labels;
@@ -323,7 +323,7 @@ std::string MetricsRegistry::RenderJson() const {
   std::ostringstream counters, gauges, histograms;
   bool first_counter = true, first_gauge = true, first_histogram = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, entry] : metrics_) {
       switch (entry.kind) {
         case Kind::kCounter:

@@ -10,11 +10,13 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dido {
 namespace obs {
@@ -231,12 +233,12 @@ class MetricsRegistry {
   };
 
   Entry* FindOrCreate(const std::string& name, Kind kind,
-                      std::string_view help);
-  std::vector<Sample> CollectSamples() const;
+                      std::string_view help) DIDO_EXCLUDES(mu_);
+  std::vector<Sample> CollectSamples() const DIDO_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> metrics_;
-  std::map<std::string, CollectorFn> collectors_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> metrics_ DIDO_GUARDED_BY(mu_);
+  std::map<std::string, CollectorFn> collectors_ DIDO_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

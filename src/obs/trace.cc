@@ -15,7 +15,7 @@ uint64_t TraceCollector::NowMicros() const {
 
 void TraceCollector::AddSpan(TraceSpan span) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= capacity_) {
     dropped_ += 1;
     return;
@@ -24,23 +24,23 @@ void TraceCollector::AddSpan(TraceSpan span) {
 }
 
 size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 uint64_t TraceCollector::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
   dropped_ = 0;
 }
 
 std::vector<TraceSpan> TraceCollector::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 

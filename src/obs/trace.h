@@ -4,10 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dido {
 namespace obs {
@@ -70,12 +72,12 @@ class TraceCollector {
   std::string RenderChromeTrace() const;
 
  private:
-  size_t capacity_;
-  std::chrono::steady_clock::time_point epoch_;
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ DIDO_GUARDED_BY(mu_);
+  uint64_t dropped_ DIDO_GUARDED_BY(mu_) = 0;
 };
 
 // JSON string escape helper for span args ("key":"value" fragments).

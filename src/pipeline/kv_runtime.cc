@@ -129,6 +129,9 @@ uint64_t KvRuntime::Preload(const DatasetSpec& dataset,
     // and the victims quarantined inside AllocateWithEviction.
     Result<KvObject*> object = AllocateWithEviction(key, value, 0, &evictions);
     if (!object.ok()) break;
+    // Pin scoped after AllocateWithEviction (see Put for the starvation
+    // hazard); Insert and RetireObject touch retire-able objects.
+    EpochGuard guard(epoch_);
     KvObject* replaced = nullptr;
     const Status status =
         index_->Insert(CuckooHashTable::HashKey(key), *object, &replaced);
@@ -186,6 +189,7 @@ void KvRuntime::RunMemoryManagement(QueryBatch* batch, size_t begin,
   for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
     QueryRecord& record = batch->queries[i];
     if (record.op != QueryOp::kSet) continue;
+    // relaxed: versions only need to be distinct, not ordered across keys.
     Result<KvObject*> object = AllocateWithEviction(
         record.key, record.value,
         version_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
@@ -226,6 +230,10 @@ void KvRuntime::RunIndexSearch(QueryBatch* batch, size_t begin, size_t end) {
 }
 
 void KvRuntime::RunIndexInsert(QueryBatch* batch, size_t begin, size_t end) {
+  // IN.S normally pinned this batch already (task order puts IN.S first);
+  // ensure it regardless — Insert probes resident retire-able objects and
+  // must never run unpinned under a config that skips the search task.
+  if (!batch->epoch_pin.held()) batch->epoch_pin = EpochPin(epoch_);
   BatchMeasurements& m = batch->measurements;
   for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
     QueryRecord& record = batch->queries[i];
@@ -265,6 +273,9 @@ void KvRuntime::RunIndexInsert(QueryBatch* batch, size_t begin, size_t end) {
 }
 
 void KvRuntime::RunIndexDelete(QueryBatch* batch, size_t begin, size_t end) {
+  // Same batch-pin guarantee as RunIndexInsert: Delete's full-key compare
+  // dereferences resident objects.
+  if (!batch->epoch_pin.held()) batch->epoch_pin = EpochPin(epoch_);
   BatchMeasurements& m = batch->measurements;
   for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
     QueryRecord& record = batch->queries[i];
@@ -283,6 +294,9 @@ void KvRuntime::RunIndexDelete(QueryBatch* batch, size_t begin, size_t end) {
 }
 
 void KvRuntime::RunKeyComparison(QueryBatch* batch, size_t begin, size_t end) {
+  // The candidates compared below are IN.S results whose storage is only
+  // kept alive by the batch pin (TouchObject additionally requires it).
+  if (!batch->epoch_pin.held()) batch->epoch_pin = EpochPin(epoch_);
   BatchMeasurements& m = batch->measurements;
   for (size_t i = begin; i < end && i < batch->queries.size(); ++i) {
     QueryRecord& record = batch->queries[i];
@@ -429,10 +443,15 @@ void KvRuntime::RetireBatch(QueryBatch* batch) {
 
 Status KvRuntime::Put(std::string_view key, std::string_view value) {
   std::vector<SlabAllocator::EvictedObject> evictions;
+  // relaxed: versions only need to be distinct, not ordered across keys.
   Result<KvObject*> object = AllocateWithEviction(
       key, value, version_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
       &evictions);
   if (!object.ok()) return object.status();
+  // Pin AFTER allocation: holding a pin across AllocateWithEviction would
+  // block the epoch advances its own retry loop waits for (self-starvation).
+  // From here the Insert probes (and may replace) retire-able objects.
+  EpochGuard guard(epoch_);
   KvObject* replaced = nullptr;
   const Status status =
       index_->Insert(CuckooHashTable::HashKey(key), *object, &replaced);
@@ -458,6 +477,9 @@ Result<std::string> KvRuntime::GetValue(std::string_view key) {
 }
 
 Status KvRuntime::DeleteKey(std::string_view key) {
+  // Delete compares resident keys and RetireObject reads the unlinked
+  // object's detach flag — both need the pin to span them.
+  EpochGuard guard(epoch_);
   KvObject* removed = nullptr;
   DIDO_RETURN_IF_ERROR(
       index_->Delete(CuckooHashTable::HashKey(key), key, &removed));

@@ -146,7 +146,7 @@ void EpochManager::Retire(void* ptr, Deleter deleter, void* ctx) {
   DIDO_CHECK(ptr != nullptr);
   DIDO_CHECK(deleter != nullptr);
   {
-    std::lock_guard<std::mutex> lock(limbo_mu_);
+    MutexLock lock(limbo_mu_);
     const uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
     limbo_[epoch % kGenerations].push_back(RetiredPtr{ptr, deleter, ctx});
   }
@@ -177,7 +177,7 @@ size_t EpochManager::AdvanceAndDrainLocked() {
   if (!CanAdvance(epoch)) return 0;
   std::vector<RetiredPtr> drained;
   {
-    std::lock_guard<std::mutex> lock(limbo_mu_);
+    MutexLock lock(limbo_mu_);
     // Generation (epoch-1) mod 3 holds pointers retired during epoch-1.
     // Every reader that could have collected them pinned at <= epoch-1,
     // and CanAdvance just proved no such pin remains.
@@ -195,14 +195,14 @@ size_t EpochManager::AdvanceAndDrainLocked() {
 }
 
 size_t EpochManager::TryReclaim() {
-  std::lock_guard<std::mutex> lock(reclaim_mu_);
+  MutexLock lock(reclaim_mu_);
   return AdvanceAndDrainLocked();
 }
 
 size_t EpochManager::ReclaimAll() {
-  std::lock_guard<std::mutex> lock(reclaim_mu_);
+  MutexLock lock(reclaim_mu_);
   auto quarantined = [this] {
-    std::lock_guard<std::mutex> limbo_lock(limbo_mu_);
+    MutexLock limbo_lock(limbo_mu_);
     size_t count = 0;
     for (uint64_t g = 0; g < kGenerations; ++g) count += limbo_[g].size();
     return count;

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dido {
 
@@ -164,16 +166,19 @@ class EpochManager {
   bool CanAdvance(uint64_t epoch) const;
 
   // Advances the epoch if possible and swaps out the newly safe limbo
-  // generation.  Must hold reclaim_mu_.  Returns reclaimed count.
-  size_t AdvanceAndDrainLocked();
+  // generation.  Returns reclaimed count.
+  size_t AdvanceAndDrainLocked() DIDO_REQUIRES(reclaim_mu_);
 
-  Options options_;
+  const Options options_;
   // Identity used by the thread-local slot bindings; survives address
   // reuse when a manager is destroyed and another allocated in its place.
   const uint64_t manager_id_;
 
   std::atomic<uint64_t> global_epoch_{1};
 
+  // Slot array: allocated once in the constructor, then only the atomic
+  // Slot fields are touched (the pointer itself is never reassigned).
+  // dido-analyze: allow(lock): set once at construction, then read-only
   std::unique_ptr<Slot[]> slots_;
 
   // Shared-pin reference counts, one per generation.  fetch_add/sub with
@@ -183,12 +188,12 @@ class EpochManager {
   // Limbo lists, one per generation, guarded by limbo_mu_.  Retire is off
   // the reader hot path (writers and the allocator call it), so a mutex
   // keeps the bookkeeping simple and TSan-clean.
-  mutable std::mutex limbo_mu_;
-  std::vector<RetiredPtr> limbo_[kGenerations];
+  mutable Mutex limbo_mu_ DIDO_ACQUIRED_AFTER(reclaim_mu_);
+  std::vector<RetiredPtr> limbo_[kGenerations] DIDO_GUARDED_BY(limbo_mu_);
 
   // Serializes epoch advancement + draining (never held while readers
   // pin; deleters run under it but outside limbo_mu_).
-  std::mutex reclaim_mu_;
+  Mutex reclaim_mu_;
 
   // Statistics.  Monotonic counters read only through stats(); relaxed
   // ordering suffices because they never order or publish shared state.

@@ -1,0 +1,6 @@
+// Analyzer fixture — stands in for tests/chaos_test.cc (passed via
+// --chaos-test).  Only "fix.good.point" is rehearsed; the catalog's other
+// live entry is deliberately absent.
+void FixtureChaosTest() {
+  // FaultRegistry::Global().ArmAlways("fix.good.point");
+}

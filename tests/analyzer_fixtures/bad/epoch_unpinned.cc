@@ -1,0 +1,8 @@
+// Analyzer fixture — seeded violation: the value read below dereferences a
+// retire-able pointer with no EpochGuard/EpochPin in scope.
+#include "epoch_unpinned.h"
+
+int ReadUnpinned(FixtureIndex* index) {
+  int* object = index->Lookup(42);  // expect: [epoch] finding on this line
+  return *object;
+}

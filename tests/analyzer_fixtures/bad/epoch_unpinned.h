@@ -1,0 +1,11 @@
+// Analyzer fixture — NOT compiled into the build.  Declares an
+// epoch-protected lookup so the epoch pass has a protected name to track.
+#ifndef DIDO_TESTS_ANALYZER_FIXTURES_BAD_EPOCH_UNPINNED_H_
+#define DIDO_TESTS_ANALYZER_FIXTURES_BAD_EPOCH_UNPINNED_H_
+
+struct FixtureIndex {
+  // Returned pointer is retire-able: caller must hold an epoch pin.
+  int* Lookup(unsigned hash) DIDO_REQUIRES_EPOCH;
+};
+
+#endif  // DIDO_TESTS_ANALYZER_FIXTURES_BAD_EPOCH_UNPINNED_H_

@@ -1,0 +1,16 @@
+// Analyzer fixture — seeded fault-pass violations:
+//   * "idx.orphan.point" fires at a site but is missing from the catalog;
+//   * "fix.good.point" is instrumented at two sites (not unique);
+//   * "fix.unrehearsed.point" is cataloged but never armed by the chaos
+//     test (see chaos_ref.cc).
+#include <cstdint>
+
+bool FixtureHotPath(uint64_t op) {
+  if (DIDO_FAULT_POINT("fix.good.point")) return false;
+  if (DIDO_FAULT_POINT("idx.orphan.point")) return false;  // expect: [fault]
+  if (op % 2 == 0 && DIDO_FAULT_POINT("fix.good.point")) {  // expect: [fault]
+    return false;
+  }
+  if (DIDO_FAULT_POINT("fix.unrehearsed.point")) return false;
+  return true;
+}

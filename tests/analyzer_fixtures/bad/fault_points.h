@@ -1,0 +1,14 @@
+// Analyzer fixture — mini catalog for the fault pass (passed to the
+// analyzer via --catalog).  "mem.stale.entry" is a seeded violation: a
+// catalog entry whose instrumentation site was deleted.
+#ifndef DIDO_TESTS_ANALYZER_FIXTURES_BAD_FAULT_POINTS_H_
+#define DIDO_TESTS_ANALYZER_FIXTURES_BAD_FAULT_POINTS_H_
+
+#include <string_view>
+
+inline constexpr std::string_view kFixGoodPoint = "fix.good.point";
+inline constexpr std::string_view kFixUnrehearsedPoint =
+    "fix.unrehearsed.point";
+inline constexpr std::string_view kMemStaleEntry = "mem.stale.entry";  // expect: [fault]
+
+#endif  // DIDO_TESTS_ANALYZER_FIXTURES_BAD_FAULT_POINTS_H_

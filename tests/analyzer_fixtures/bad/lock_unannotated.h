@@ -1,0 +1,30 @@
+// Analyzer fixture — seeded violation: `pending_` is mutated under mu_ but
+// carries no DIDO_GUARDED_BY, so the Clang thread-safety analysis would
+// never check it.
+#ifndef DIDO_TESTS_ANALYZER_FIXTURES_BAD_LOCK_UNANNOTATED_H_
+#define DIDO_TESTS_ANALYZER_FIXTURES_BAD_LOCK_UNANNOTATED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dido {
+
+class FixtureQueue {
+ public:
+  void Push(uint64_t value);
+
+ private:
+  Mutex mu_;
+  std::vector<uint64_t> pending_;  // expect: [lock] finding on this line
+  std::atomic<uint64_t> pushes_{0};      // self-synchronizing: exempt
+  const uint64_t capacity_ = 64;         // immutable: exempt
+  std::vector<uint64_t> drained_ DIDO_GUARDED_BY(mu_);  // annotated: clean
+};
+
+}  // namespace dido
+
+#endif  // DIDO_TESTS_ANALYZER_FIXTURES_BAD_LOCK_UNANNOTATED_H_

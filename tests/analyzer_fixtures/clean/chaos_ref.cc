@@ -1,0 +1,6 @@
+// Analyzer fixture — stands in for tests/chaos_test.cc; both cataloged
+// points are rehearsed.
+void FixtureChaosTest() {
+  // FaultRegistry::Global().ArmAlways("fix.good.point");
+  // FaultRegistry::Global().ArmOneShot("fix.other.point");
+}

@@ -1,0 +1,21 @@
+// Analyzer fixture — clean twin of bad/epoch_unpinned.cc: every protected
+// call happens under a pin, via all three idioms the pass recognizes.
+#include "epoch_pinned.h"
+
+int ReadWithGuard(FixtureIndex* index, EpochManager& epoch) {
+  EpochGuard guard(epoch);
+  int* object = index->Lookup(42);  // pinned: clean
+  return *object;
+}
+
+int ReadWithBatchPin(FixtureIndex* index, Batch* batch, EpochManager& epoch) {
+  if (!batch->epoch_pin.held()) batch->epoch_pin = EpochPin(epoch);
+  int* object = index->Lookup(7);  // pinned via batch hand-off: clean
+  return *object;
+}
+
+int ReadSingleThreadedSetup(FixtureIndex* index) {
+  // dido-analyze: allow(epoch): preload runs before any concurrent reader
+  int* object = index->Lookup(1);
+  return *object;
+}

@@ -1,0 +1,10 @@
+// Analyzer fixture — clean twin of bad/epoch_unpinned.h.
+#ifndef DIDO_TESTS_ANALYZER_FIXTURES_CLEAN_EPOCH_PINNED_H_
+#define DIDO_TESTS_ANALYZER_FIXTURES_CLEAN_EPOCH_PINNED_H_
+
+struct FixtureIndex {
+  // Returned pointer is retire-able: caller must hold an epoch pin.
+  int* Lookup(unsigned hash) DIDO_REQUIRES_EPOCH;
+};
+
+#endif  // DIDO_TESTS_ANALYZER_FIXTURES_CLEAN_EPOCH_PINNED_H_

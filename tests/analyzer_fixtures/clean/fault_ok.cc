@@ -1,0 +1,9 @@
+// Analyzer fixture — clean twin of bad/fault_orphan.cc: one site per
+// point, every point cataloged and rehearsed.
+#include <cstdint>
+
+bool FixtureHotPath(uint64_t op) {
+  if (DIDO_FAULT_POINT("fix.good.point")) return false;
+  if (op % 2 == 0 && DIDO_FAULT_POINT("fix.other.point")) return false;
+  return true;
+}

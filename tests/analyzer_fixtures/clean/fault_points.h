@@ -1,0 +1,10 @@
+// Analyzer fixture — mini catalog for the clean tree.
+#ifndef DIDO_TESTS_ANALYZER_FIXTURES_CLEAN_FAULT_POINTS_H_
+#define DIDO_TESTS_ANALYZER_FIXTURES_CLEAN_FAULT_POINTS_H_
+
+#include <string_view>
+
+inline constexpr std::string_view kFixGoodPoint = "fix.good.point";
+inline constexpr std::string_view kFixOtherPoint = "fix.other.point";
+
+#endif  // DIDO_TESTS_ANALYZER_FIXTURES_CLEAN_FAULT_POINTS_H_

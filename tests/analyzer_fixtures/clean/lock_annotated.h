@@ -1,0 +1,35 @@
+// Analyzer fixture — clean twin of bad/lock_unannotated.h: every mutable
+// field of the mutex-owning class is annotated or carries an allow comment.
+#ifndef DIDO_TESTS_ANALYZER_FIXTURES_CLEAN_LOCK_ANNOTATED_H_
+#define DIDO_TESTS_ANALYZER_FIXTURES_CLEAN_LOCK_ANNOTATED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dido {
+
+class FixtureQueue {
+ public:
+  void Push(uint64_t value);
+
+ private:
+  Mutex mu_;
+  std::vector<uint64_t> pending_ DIDO_GUARDED_BY(mu_);
+  std::atomic<uint64_t> pushes_{0};
+  const uint64_t capacity_ = 64;
+  // dido-analyze: allow(lock): written once before the workers spawn
+  uint64_t* scratch_ = nullptr;
+  // dido-analyze: begin-allow(lock): published before spawn, torn down
+  // after join — same lifecycle contract as LivePipeline's stage tables
+  std::vector<uint64_t> stage_table_;
+  std::vector<uint64_t> stage_health_;
+  // dido-analyze: end-allow(lock)
+};
+
+}  // namespace dido
+
+#endif  // DIDO_TESTS_ANALYZER_FIXTURES_CLEAN_LOCK_ANNOTATED_H_

@@ -182,5 +182,99 @@ TEST_F(ChaosTest, AdmissionControlShedsInsteadOfBlocking) {
   EXPECT_EQ(CountResponseRecords(pipeline.TakeResponses()), stats.queries);
 }
 
+TEST_F(ChaosTest, CapacityFullInsertsAnswerWithErrorResponses) {
+  KvRuntime::Options rt;
+  rt.slab.arena_bytes = 24 << 20;
+  rt.index.num_buckets = 1 << 15;
+  KvRuntime runtime(rt);
+  // SET-heavy (50% writes) so IN.I sees steady traffic.
+  const WorkloadSpec workload =
+      MakeWorkload(DatasetK16(), 50, KeyDistribution::kZipf);
+  const uint64_t objects = runtime.Preload(workload.dataset, 100000);
+  ASSERT_GT(objects, 0u);
+  WorkloadGenerator generator(workload, objects, 37);
+  TrafficSource source(&generator);
+
+  // Arm after preload: Preload shares the Insert path and would otherwise
+  // abort at the first injected exhaustion.  Unlike index.insert.busy this
+  // failure is terminal — no retry may absorb it; every hit must surface
+  // as a failed insert answered with exactly one kError record.
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.ArmProbability("index.insert.capacity_full", 0.05, 0.0, /*seed=*/105);
+
+  LivePipeline::Options options;
+  options.batch_queries = 256;
+  options.keep_responses = true;
+  options.stall_threshold_ms = 2000;
+  LivePipeline pipeline(&runtime, PipelineConfig::MegaKv(), options);
+  ASSERT_TRUE(pipeline.Start(&source).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  pipeline.Stop();
+  const uint64_t fires = faults.fire_count("index.insert.capacity_full");
+  faults.DisarmAll();
+
+  const LivePipeline::Stats stats = pipeline.Collect();
+  const DegradationStats& d = stats.degradation;
+  ASSERT_GT(stats.queries, 0u);
+  ASSERT_GT(fires, 0u) << "fault schedule never bit; test proves nothing";
+  // Terminal insert failures became error responses, not lost queries.
+  EXPECT_GT(d.error_responses, 0u);
+  EXPECT_GE(d.error_responses, fires);
+  // Exactly-once survives displacement exhaustion.
+  EXPECT_EQ(stats.queries, d.ingested_queries - d.shed_queries);
+  EXPECT_EQ(CountResponseRecords(pipeline.TakeResponses()), stats.queries);
+}
+
+TEST_F(ChaosTest, ResponseRingDeliveryFaultArithmetic) {
+  KvRuntime::Options rt;
+  rt.slab.arena_bytes = 24 << 20;
+  rt.index.num_buckets = 1 << 15;
+  KvRuntime runtime(rt);
+  const WorkloadSpec workload =
+      MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf);
+  const uint64_t objects = runtime.Preload(workload.dataset, 100000);
+  ASSERT_GT(objects, 0u);
+  WorkloadGenerator generator(workload, objects, 39);
+  TrafficSource source(&generator);
+
+  // Deterministic delivery faults on the response ring: every 7th Push is
+  // eaten by the wire, every 11th (of the survivors' evaluations) is
+  // delivered twice.  EveryNth makes the arithmetic below exact.
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.ArmEveryNth("net.frame_ring.drop", 7);
+  faults.ArmEveryNth("net.frame_ring.duplicate", 11);
+
+  // Capacity far above what a 1-second run produces, so the only drops are
+  // injected ones and every duplicate fits.
+  FrameRing ring(1 << 20, OverflowPolicy::kDropNewest);
+  LivePipeline::Options options;
+  options.batch_queries = 256;
+  options.response_ring = &ring;
+  options.stall_threshold_ms = 2000;
+  LivePipeline pipeline(&runtime, PipelineConfig::MegaKv(), options);
+  ASSERT_TRUE(pipeline.Start(&source).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  pipeline.Stop();
+  const uint64_t pushes = faults.evaluation_count("net.frame_ring.drop");
+  const uint64_t drops = faults.fire_count("net.frame_ring.drop");
+  const uint64_t duplicates = faults.fire_count("net.frame_ring.duplicate");
+  faults.DisarmAll();
+
+  const LivePipeline::Stats stats = pipeline.Collect();
+  ASSERT_GT(stats.queries, 0u);
+  ASSERT_GT(drops, 0u);
+  ASSERT_GT(duplicates, 0u);
+  // Delivery arithmetic: every WR frame was evaluated once by the drop
+  // point; dropped frames vanished, duplicated ones count twice.
+  EXPECT_EQ(ring.size(), pushes - drops + duplicates);
+  // The pipeline attributes exactly the injected losses to the ring.
+  EXPECT_EQ(stats.degradation.responses_dropped, drops);
+  // Surviving frames decode cleanly end to end (no record-level checks:
+  // drops and duplicates intentionally unbalance the record count).
+  std::vector<Frame> frames;
+  ring.PopBatch(ring.size(), &frames);
+  (void)CountResponseRecords(frames);
+}
+
 }  // namespace
 }  // namespace dido

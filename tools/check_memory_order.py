@@ -4,10 +4,16 @@
 DIDO's correctness rests on the CPU/GPU work-stealing tag array and the
 inter-stage batch queues; a silently-downgraded memory order there is
 exactly the class of bug a reviewer cannot see locally.  This check
-forbids `memory_order_relaxed` in the audited hot-path files unless the
-use is justified by a nearby comment containing the word "relaxed"
-(same line, or a comment within the preceding JUSTIFICATION_WINDOW
-lines) — forcing every downgrade to carry its reasoning in the source.
+forbids `memory_order_relaxed` in the audited files unless the use is
+justified by a nearby comment containing the word "relaxed" (same line,
+or a comment within the preceding JUSTIFICATION_WINDOW lines) — forcing
+every downgrade to carry its reasoning in the source.
+
+The audit set is discovered, not maintained: every src/**/*.h and
+src/**/*.cc that mentions `std::atomic` or `memory_order` is audited
+automatically, so a new lock-free component cannot dodge the check by
+not being on a list.  Files with a reason to be exempt go in OPT_OUT
+with that reason.
 
 Exit status: 0 clean, 1 violations found, 2 usage error.
 """
@@ -16,30 +22,37 @@ import re
 import sys
 from pathlib import Path
 
-# Hot-path files under audit (repo-relative).  Extend this list when new
-# lock-free components appear.
-AUDITED_FILES = [
-    "src/pipeline/work_stealing.h",
-    "src/pipeline/work_stealing.cc",
-    "src/live/live_pipeline.h",
-    "src/live/live_pipeline.cc",
-    "src/mem/kv_object.h",
-    "src/sync/epoch.h",
-    "src/sync/epoch.cc",
-    "src/faults/fault_registry.h",
-    "src/faults/fault_registry.cc",
-    "src/obs/metrics.h",
-    "src/obs/metrics.cc",
-    "src/obs/trace.h",
-    "src/obs/trace.cc",
-    "src/obs/drift.h",
-    "src/obs/drift.cc",
-]
+# Repo-relative paths excluded from the audit, each with its reason.
+# Keep this list short: an entry here is a standing waiver.
+OPT_OUT = {
+    # (no current opt-outs — every atomic-bearing file justifies its
+    # relaxed uses; add "src/path/file.cc": "reason" entries sparingly)
+}
 
 JUSTIFICATION_WINDOW = 10  # lines of lookback for a justifying comment
 
+# NOTE: `std::atomic|memory_order`, not \b-anchored `memory_order\b` —
+# the latter fails to match `memory_order_relaxed` itself.
+DISCOVERY_RE = re.compile(r"std::atomic|memory_order")
 RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
 COMMENT_RE = re.compile(r"//(.*)$")
+
+
+def discover_audited_files(root: Path) -> list:
+    """Every src/**/*.{h,cc} using atomics, minus the opt-out list."""
+    audited = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc") or not path.is_file():
+            continue
+        rel = str(path.relative_to(root))
+        if rel in OPT_OUT_NORMALIZED:
+            continue
+        if DISCOVERY_RE.search(path.read_text(encoding="utf-8")):
+            audited.append(rel)
+    return audited
+
+
+OPT_OUT_NORMALIZED = {str(Path(p)) for p in OPT_OUT}
 
 
 def line_has_justification(line: str) -> bool:
@@ -70,13 +83,20 @@ def main(argv: list) -> int:
         print(f"check_memory_order: '{root}' is not the repo root", file=sys.stderr)
         return 2
     failed = False
-    for rel in AUDITED_FILES:
-        path = root / rel
-        if not path.exists():
-            print(f"check_memory_order: audited file missing: {rel}", file=sys.stderr)
+    # A stale opt-out entry is itself an error: waivers must not outlive
+    # the file they waived.
+    for rel in sorted(OPT_OUT_NORMALIZED):
+        if not (root / rel).exists():
+            print(f"check_memory_order: opt-out entry for missing file: {rel}",
+                  file=sys.stderr)
             failed = True
-            continue
-        for line_no, text in check_file(path):
+    audited = discover_audited_files(root)
+    if not audited:
+        print("check_memory_order: discovery found no atomic-bearing files "
+              "under src/ — that cannot be right", file=sys.stderr)
+        return 2
+    for rel in audited:
+        for line_no, text in check_file(root / rel):
             failed = True
             print(
                 f"{rel}:{line_no}: memory_order_relaxed without a "
@@ -90,6 +110,8 @@ def main(argv: list) -> int:
             "'memory order')."
         )
         return 1
+    print(f"check_memory_order: clean ({len(audited)} files audited, "
+          f"{len(OPT_OUT)} opted out)")
     return 0
 
 

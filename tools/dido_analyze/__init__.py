@@ -1,0 +1,27 @@
+"""dido_analyze: project-specific static analysis for DIDO invariants.
+
+Three passes over the C++ tree, each enforcing a concurrency contract the
+compiler cannot see:
+
+  epoch  -- calls to DIDO_REQUIRES_EPOCH functions (retire-able-memory APIs)
+            must happen inside an EpochGuard / EpochPin /
+            ScopedEpochParticipant scope.
+  fault  -- every DIDO_FAULT_POINT name is unique, cataloged in
+            src/faults/fault_points.h, and rehearsed by tests/chaos_test.cc.
+  lock   -- in any class that owns a Mutex, every mutable non-atomic data
+            member must carry DIDO_GUARDED_BY (or an explicit allow
+            comment saying why not).
+
+Suppressions (all passes):
+
+  // dido-analyze: allow(<pass>): <reason>          same or next line
+  // dido-analyze: begin-allow(<pass>): <reason>    region start
+  // dido-analyze: end-allow(<pass>)                region end
+
+The default backend is purely textual (regex + brace tracking) so it runs
+anywhere Python runs.  `--backend clang` uses libclang's AST for the lock
+pass when the clang Python bindings are installed, and degrades to the
+textual backend (with a notice) when they are not.
+"""
+
+__all__ = ["source", "epoch_pass", "fault_pass", "lock_pass"]

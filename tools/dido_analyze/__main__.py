@@ -1,0 +1,115 @@
+"""CLI: python3 tools/dido_analyze <repo-root> [--pass ...] [--backend ...]
+
+Exit status mirrors tools/check_memory_order.py: 0 clean, 1 findings,
+2 usage error.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import clang_backend, epoch_pass, fault_pass, lock_pass, source
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="dido_analyze",
+        description="DIDO concurrency-contract static analysis "
+        "(epoch-pin, fault-point, lock-annotation passes).",
+    )
+    parser.add_argument("root", help="repo root (or a fixture directory)")
+    parser.add_argument(
+        "--pass",
+        dest="passes",
+        action="append",
+        choices=["epoch", "fault", "lock", "all"],
+        help="pass to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["text", "clang"],
+        default="text",
+        help="lock-pass backend; 'clang' needs the libclang Python "
+        "bindings and falls back to 'text' with a notice when absent",
+    )
+    parser.add_argument(
+        "--catalog",
+        default=None,
+        help="fault-point catalog header "
+        "(default: <root>/src/faults/fault_points.h)",
+    )
+    parser.add_argument(
+        "--chaos-test",
+        default=None,
+        help="chaos test that must reference every fault point "
+        "(default: <root>/tests/chaos_test.cc)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"dido_analyze: '{root}' is not a directory", file=sys.stderr)
+        return 2
+    passes = set(args.passes or ["all"])
+    if "all" in passes:
+        passes = {"epoch", "fault", "lock"}
+
+    files = list(source.discover(root))
+    if not files:
+        print(f"dido_analyze: no .h/.cc files under '{root}'", file=sys.stderr)
+        return 2
+
+    findings = []
+    if "epoch" in passes:
+        findings += epoch_pass.run(files)
+    if "fault" in passes:
+        catalog_path = Path(args.catalog) if args.catalog else root / "src/faults/fault_points.h"
+        chaos_path = Path(args.chaos_test) if args.chaos_test else root / "tests/chaos_test.cc"
+        catalog = None
+        if catalog_path.is_file():
+            try:
+                rel = catalog_path.relative_to(root)
+            except ValueError:
+                rel = catalog_path
+            catalog = source.SourceFile(catalog_path, rel)
+            # The catalog itself holds no macro sites; exclude it from the
+            # site scan so its literals are not double-counted.
+            files_for_sites = [f for f in files if f.path != catalog_path]
+        else:
+            files_for_sites = files
+        chaos_text = chaos_path.read_text(encoding="utf-8") if chaos_path.is_file() else None
+        findings += fault_pass.run(
+            files_for_sites, catalog, chaos_text, str(chaos_path)
+        )
+    if "lock" in passes:
+        if args.backend == "clang" and clang_backend.available():
+            findings += clang_backend.run_lock_pass(files)
+        else:
+            if args.backend == "clang":
+                print(
+                    "dido_analyze: clang Python bindings not installed; "
+                    "using the textual lock-pass backend",
+                    file=sys.stderr,
+                )
+            findings += lock_pass.run(files)
+
+    findings.sort(key=lambda f: (f.rel, f.line))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"\ndido_analyze: {len(findings)} finding(s).  Each one is a "
+            "broken concurrency contract (or a missing annotation/allow "
+            "comment) — see tools/dido_analyze/__init__.py for the rules."
+        )
+        return 1
+    ran = ", ".join(sorted(passes))
+    print(f"dido_analyze: clean ({ran} pass(es), {len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

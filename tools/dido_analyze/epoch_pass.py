@@ -1,0 +1,97 @@
+"""Epoch-pin pass: retire-able-memory APIs must be called under a pin.
+
+Functions whose declarations carry the DIDO_REQUIRES_EPOCH marker (see
+src/common/thread_annotations.h) return or touch pointers that a concurrent
+eviction can retire.  Calling one without an active EpochGuard / EpochPin /
+ScopedEpochParticipant is a use-after-reclaim waiting for memory pressure.
+
+Textual model:
+
+  * Annotated-function discovery: any `Name(...) [const] DIDO_REQUIRES_EPOCH`
+    declaration anywhere under the scanned root contributes `Name` to the
+    protected set.
+  * Pin scopes: a line containing `EpochGuard g(...)`, `EpochPin(...)` (also
+    as the RHS of an assignment, the batch-pin hand-off idiom), or
+    `ScopedEpochParticipant p(...)` establishes a pin at the current brace
+    depth; the pin covers subsequent lines until that depth closes.
+  * Call sites: `expr->Name(` / `expr.Name(` for a protected Name.  Plain
+    `Name(` calls are deliberately ignored — inside the implementation of a
+    protected method the epoch contract is inherited from the caller, and
+    that is exactly where unqualified member calls occur.
+
+Known blind spots (accepted for a zero-dependency pass): pins stashed in
+containers, calls split across lines after the `->`, and helper functions
+that take a pinned pointer as a parameter.  The suppression comment exists
+for the rare case that hits one.
+"""
+
+import re
+
+from . import source
+
+REQUIRES_EPOCH_DECL_RE = re.compile(
+    r"\b(\w+)\s*\((?:[^()]|\([^()]*\))*\)\s*(?:const\s*)?DIDO_REQUIRES_EPOCH\b",
+    re.DOTALL,
+)
+
+PIN_RE = re.compile(
+    r"\b(?:EpochGuard|EpochPin|ScopedEpochParticipant)\b(?:\s+\w+)?\s*\("
+)
+
+BRACE_RE = re.compile(r"[{}]")
+
+
+def collect_protected_names(files):
+    """Set of function names declared with DIDO_REQUIRES_EPOCH."""
+    names = set()
+    for sf in files:
+        for m in REQUIRES_EPOCH_DECL_RE.finditer(sf.text()):
+            names.add(m.group(1))
+    return names
+
+
+def run(files, protected_names=None):
+    files = list(files)
+    if protected_names is None:
+        protected_names = collect_protected_names(files)
+    if not protected_names:
+        return []
+    call_re = re.compile(
+        r"(?:->|\.)\s*(" + "|".join(sorted(protected_names)) + r")\s*\("
+    )
+    findings = []
+    for sf in files:
+        depth = 0
+        pin_depths = []  # brace depth at which each active pin was created
+        for line_no, raw in enumerate(sf.lines, start=1):
+            line = source.strip_comments_and_strings(raw)
+            # Pins declared on this line take effect for the calls after
+            # them; a call and a pin on one line are treated as pinned
+            # (the guard idiom puts the guard first).
+            if PIN_RE.search(line):
+                pin_depths.append(depth)
+            for m in call_re.finditer(line):
+                if pin_depths:
+                    continue
+                if sf.allowed("epoch", line_no):
+                    continue
+                findings.append(
+                    source.Finding(
+                        sf.rel,
+                        line_no,
+                        "epoch",
+                        f"call to epoch-protected '{m.group(1)}' with no "
+                        "EpochGuard/EpochPin in scope — the result is "
+                        "retire-able memory (see DIDO_REQUIRES_EPOCH in "
+                        "common/thread_annotations.h)",
+                    )
+                )
+            for b in BRACE_RE.finditer(line):
+                if b.group() == "{":
+                    depth += 1
+                else:
+                    depth = max(0, depth - 1)
+                    while pin_depths and pin_depths[-1] > depth:
+                        pin_depths.pop()
+        # File-scope sanity: any pins left open die with the file.
+    return findings

@@ -1,0 +1,123 @@
+"""Fault-point pass: every fault point is unique, cataloged, and rehearsed.
+
+Checks three properties over the DIDO_FAULT_POINT / DIDO_FAULT_POINT_HIT
+sites in the scanned tree:
+
+  1. Uniqueness — a fault-point name appears at exactly one site (two sites
+     sharing a name can no longer be armed independently) and exactly once
+     in the catalog.
+  2. Catalog — every site name is declared in src/faults/fault_points.h and
+     every catalog entry still has a live site (no typo'd orphans in either
+     direction; a misspelled site is armed-but-never-fires, the worst kind
+     of chaos test).
+  3. Rehearsal — every catalog name is referenced at least once by
+     tests/chaos_test.cc, so each failure mode has a test arming it.
+"""
+
+import re
+
+from . import source
+
+SITE_RE = re.compile(r"\bDIDO_FAULT_POINT(?:_HIT)?\s*\(\s*\"([^\"]+)\"")
+# Catalog entries are the string literals bound to constexpr string_views.
+CATALOG_ENTRY_RE = re.compile(r"=\s*\"([a-z0-9_.]+)\"|^\s*\"([a-z0-9_.]+)\"")
+
+
+def collect_sites(files):
+    """[(SourceFile, line_no, name)] for every macro site (not the macro
+    definition itself, which takes an unquoted parameter)."""
+    sites = []
+    for sf in files:
+        for line_no, raw in enumerate(sf.lines, start=1):
+            if raw.lstrip().startswith("#"):
+                continue  # the #define in fault_registry.h
+            for m in SITE_RE.finditer(raw):
+                sites.append((sf, line_no, m.group(1)))
+    return sites
+
+
+def collect_catalog(catalog_file):
+    """[(line_no, name)] from the fault_points.h catalog."""
+    entries = []
+    for line_no, raw in enumerate(catalog_file.lines, start=1):
+        m = CATALOG_ENTRY_RE.search(raw)
+        if m:
+            entries.append((line_no, m.group(1) or m.group(2)))
+    return entries
+
+
+def run(files, catalog_file, chaos_text, chaos_rel):
+    findings = []
+    files = list(files)
+    sites = collect_sites(files)
+
+    def emit(sf, line_no, message):
+        if not sf.allowed("fault", line_no):
+            findings.append(source.Finding(sf.rel, line_no, "fault", message))
+
+    # 1a. Site uniqueness.
+    first_site = {}
+    for sf, line_no, name in sites:
+        if name in first_site:
+            prev_sf, prev_line = first_site[name]
+            emit(
+                sf,
+                line_no,
+                f"fault point '{name}' already instrumented at "
+                f"{prev_sf.rel}:{prev_line} — points must be unique so they "
+                "can be armed independently",
+            )
+        else:
+            first_site[name] = (sf, line_no)
+
+    if catalog_file is None:
+        # Without a catalog every site is an orphan.
+        for sf, line_no, name in sites:
+            emit(sf, line_no, f"fault point '{name}' has no catalog (fault_points.h not found)")
+        return findings
+
+    catalog = collect_catalog(catalog_file)
+
+    # 1b. Catalog uniqueness.
+    seen = {}
+    for line_no, name in catalog:
+        if name in seen:
+            emit(
+                catalog_file,
+                line_no,
+                f"catalog lists '{name}' more than once (first at line {seen[name]})",
+            )
+        else:
+            seen[name] = line_no
+
+    # 2. Site <-> catalog cross-check.
+    for sf, line_no, name in sites:
+        if name not in seen:
+            emit(
+                sf,
+                line_no,
+                f"fault point '{name}' is not declared in "
+                f"{catalog_file.rel} — add it to the catalog (or fix the "
+                "typo: a misspelled point can be armed but never fires)",
+            )
+    site_names = set(first_site)
+    for line_no, name in catalog:
+        if name not in site_names:
+            emit(
+                catalog_file,
+                line_no,
+                f"catalog entry '{name}' has no DIDO_FAULT_POINT site — "
+                "remove the stale entry or restore the instrumentation",
+            )
+
+    # 3. Chaos-test rehearsal.
+    for line_no, name in catalog:
+        if name in site_names and (chaos_text is None or name not in chaos_text):
+            where = chaos_rel if chaos_text is not None else "tests/chaos_test.cc (missing)"
+            emit(
+                catalog_file,
+                line_no,
+                f"fault point '{name}' is never referenced by {where} — "
+                "every failure mode needs at least one chaos test arming it",
+            )
+    return findings

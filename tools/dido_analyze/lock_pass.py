@@ -1,0 +1,173 @@
+"""Lock-annotation pass: classes that own a Mutex annotate their state.
+
+In any class that has a `dido::Mutex` (or raw `std::mutex`) data member,
+every other data member is assumed to be lock-protected unless it is
+self-evidently not:
+
+  * `std::atomic` / `Atomic*` members synchronize themselves;
+  * `const` members are immutable after construction;
+  * the Mutex / CondVar members are the synchronization primitives.
+
+Everything else must carry DIDO_GUARDED_BY(...) — or a
+`dido-analyze: allow(lock)` comment stating why the field is safe without
+the capability (published-before-spawn, registration-ordered, etc.).  This
+is what keeps the Clang thread-safety analysis honest: TSA only checks
+fields that are annotated, so the gap it cannot see is an annotated class
+quietly growing an unannotated field.
+
+The textual backend parses class bodies with a brace tracker and a
+statement accumulator; `--backend clang` replaces it with a libclang AST
+walk when the bindings are installed.
+
+Heuristic limits (textual): members are recognized by the trailing-
+underscore naming convention, so a Mutex-owning class with a bare-named
+field slips through; /* */ comments are not handled.  Both are repo-style
+violations first and analyzer gaps second.
+"""
+
+import re
+
+from . import source
+
+ANNOTATION_RE = re.compile(r"\bDIDO_[A-Z_]+(?:\s*\(([^()]*(?:\([^()]*\))?[^()]*)\))?")
+CLASS_HEAD_RE = re.compile(r"\b(class|struct)\s+([\w:]+)")
+ACCESS_RE = re.compile(r"\b(?:public|private|protected)\s*:")
+MEMBER_RE = re.compile(r"\b(\w+_)\s*(?:\[[^\]]*\])?\s*(?:=[^;]*|\{[^{}]*\})?\s*$")
+MUTEX_TYPE_RE = re.compile(r"(?:^|[^\w:])(?:Mutex|std::mutex)\s*&?\s*$|(?:^|[^\w:])(?:Mutex|std::mutex)\s*&?\s+\w")
+SELF_SYNC_RE = re.compile(r"std::atomic|Atomic|(?:^|[^\w:])(?:Mutex|std::mutex|CondVar|std::condition_variable)(?:[^\w]|$)")
+INIT_TAIL_RE = re.compile(r"(?:\w+_|=|\])\s*$")
+
+
+class _Member:
+    def __init__(self, name, line, guarded, text):
+        self.name = name
+        self.line = line
+        self.guarded = guarded
+        self.text = text  # annotation-stripped declaration
+
+
+class _ClassScope:
+    def __init__(self, name):
+        self.name = name
+        self.members = []
+        self.owns_mutex = False
+
+
+def _strip_annotations(stmt):
+    """Removes DIDO_* attribute macros; returns (stripped, had_guarded_by)."""
+    guarded = False
+
+    def repl(m):
+        nonlocal guarded
+        if m.group(0).startswith("DIDO_GUARDED_BY"):
+            guarded = True
+        return " "
+
+    return ANNOTATION_RE.sub(repl, stmt), guarded
+
+
+def _analyze_statement(stmt, line, scope):
+    stmt, guarded = _strip_annotations(stmt)
+    stmt = ACCESS_RE.sub(" ", stmt).strip()
+    if not stmt or stmt.startswith(("using ", "typedef ", "friend ", "static ")):
+        return
+    if "(" in stmt or ")" in stmt:
+        return  # function declaration (annotation parens already stripped)
+    m = MEMBER_RE.search(stmt)
+    if not m:
+        return
+    if MUTEX_TYPE_RE.search(stmt):
+        scope.owns_mutex = True
+    scope.members.append(_Member(m.group(1), line, guarded, stmt))
+
+
+def _flush_class(scope, sf, findings):
+    if not scope.owns_mutex:
+        return
+    for member in scope.members:
+        if member.guarded:
+            continue
+        if SELF_SYNC_RE.search(member.text):
+            continue
+        if re.match(r"\s*(?:mutable\s+)?const\b", member.text) or " const " in f" {member.text} ":
+            continue
+        if sf.allowed("lock", member.line):
+            continue
+        findings.append(
+            source.Finding(
+                sf.rel,
+                member.line,
+                "lock",
+                f"field '{member.name}' of mutex-owning class "
+                f"'{scope.name}' has no DIDO_GUARDED_BY annotation — "
+                "annotate it, or add a 'dido-analyze: allow(lock)' comment "
+                "explaining why it needs no capability",
+            )
+        )
+
+
+def run(files):
+    findings = []
+    for sf in files:
+        class_stack = []   # innermost last; _ClassScope or None for plain blocks
+        init_depth = []    # depths of brace-initializer scopes (kept in stmt)
+        stmt = []
+        stmt_line = [None]  # first content line of the current statement
+
+        def add(text, line_no):
+            if stmt_line[0] is None and text.strip():
+                stmt_line[0] = line_no
+            stmt.append(text)
+
+        def reset():
+            stmt.clear()
+            stmt_line[0] = None
+
+        depth = 0
+        for line_no, raw in enumerate(sf.lines, start=1):
+            line = source.strip_comments_and_strings(raw)
+            if re.match(r"\s*(?:public|private|protected)\s*:\s*$", line):
+                # Statement boundary, so findings anchor to the member line
+                # (where its allow comment lives), not the access specifier.
+                reset()
+                continue
+            i = 0
+            for m in re.finditer(r"[{};]", line):
+                add(line[i : m.start()], line_no)
+                tok = m.group()
+                i = m.end()
+                if tok == ";":
+                    text = "".join(stmt)
+                    if class_stack and class_stack[-1][0] is not None and depth == class_stack[-1][1]:
+                        _analyze_statement(text, stmt_line[0] or line_no, class_stack[-1][0])
+                    reset()
+                elif tok == "{":
+                    head, _ = _strip_annotations("".join(stmt))
+                    head = head.replace(" final", " ")
+                    cm = CLASS_HEAD_RE.search(head)
+                    if cm and "enum" not in head and "template" not in head.split(cm.group(1))[-1]:
+                        depth += 1
+                        class_stack.append((_ClassScope(cm.group(2)), depth))
+                        reset()
+                    elif INIT_TAIL_RE.search("".join(stmt).rstrip()):
+                        depth += 1
+                        init_depth.append(depth)
+                        add("{", line_no)  # keep initializer in the statement
+                    else:
+                        depth += 1
+                        class_stack.append((None, depth))
+                        reset()
+                else:  # "}"
+                    if init_depth and init_depth[-1] == depth:
+                        init_depth.pop()
+                        add("}", line_no)
+                    elif class_stack and class_stack[-1][1] == depth:
+                        scope, _ = class_stack.pop()
+                        if scope is not None:
+                            _flush_class(scope, sf, findings)
+                        reset()
+                    depth = max(0, depth - 1)
+            add(line[i:], line_no)
+            add("\n", line_no)
+        # Whatever half-statement remains at EOF is discarded.
+    return findings

@@ -1,0 +1,121 @@
+"""Shared source model: file discovery, findings, and suppression comments."""
+
+import re
+from pathlib import Path
+
+PASS_NAMES = ("epoch", "fault", "lock")
+
+ALLOW_RE = re.compile(r"//\s*dido-analyze:\s*allow\((\w+)\)\s*:")
+BEGIN_ALLOW_RE = re.compile(r"//\s*dido-analyze:\s*begin-allow\((\w+)\)\s*:")
+END_ALLOW_RE = re.compile(r"//\s*dido-analyze:\s*end-allow\((\w+)\)")
+
+
+class Finding:
+    """One analyzer complaint, printable as path:line: [pass] message."""
+
+    def __init__(self, rel, line, pass_name, message):
+        self.rel = rel
+        self.line = line  # 1-based
+        self.pass_name = pass_name
+        self.message = message
+
+    def __str__(self):
+        return f"{self.rel}:{self.line}: [{self.pass_name}] {self.message}"
+
+
+class SourceFile:
+    """A loaded source file plus its parsed suppression comments."""
+
+    def __init__(self, path, rel):
+        self.path = Path(path)
+        self.rel = str(rel)
+        self.lines = self.path.read_text(encoding="utf-8").splitlines()
+        # pass name -> set of 1-based line numbers where findings are allowed
+        self._allowed = {name: set() for name in PASS_NAMES}
+        self._parse_suppressions()
+
+    def _parse_suppressions(self):
+        open_regions = {}  # pass name -> region start line
+        for i, line in enumerate(self.lines, start=1):
+            m = ALLOW_RE.search(line)
+            if m and m.group(1) in self._allowed:
+                # Covers the annotated line and the following line, so the
+                # comment may sit on its own line above the declaration.
+                self._allowed[m.group(1)].update((i, i + 1))
+            m = BEGIN_ALLOW_RE.search(line)
+            if m and m.group(1) in self._allowed:
+                open_regions[m.group(1)] = i
+            m = END_ALLOW_RE.search(line)
+            if m and m.group(1) in open_regions:
+                start = open_regions.pop(m.group(1))
+                self._allowed[m.group(1)].update(range(start, i + 1))
+        # An unclosed begin-allow suppresses nothing past its own line —
+        # better to surface the forgotten end-allow as findings than to
+        # silently exempt the rest of the file.
+
+    def allowed(self, pass_name, line):
+        return line in self._allowed.get(pass_name, ())
+
+    def text(self):
+        return "\n".join(self.lines)
+
+
+def strip_comments_and_strings(line):
+    """Blanks out // comments and "..." string contents (keeps the quotes).
+
+    Good enough for brace counting and identifier matching; /* */ block
+    comments are not used in this codebase (clang-format style).
+    """
+    out = []
+    i, n = 0, len(line)
+    in_string = False
+    while i < n:
+        c = line[i]
+        if in_string:
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                in_string = False
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if c == '"':
+            in_string = True
+            out.append(c)
+            i += 1
+            continue
+        if c == "'" and i + 2 < n and "'" in line[i + 1 : i + 4]:
+            end = line.find("'", i + 1)
+            out.append(" " * (end - i + 1))
+            i = end + 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def discover(root, subdirs=("src",), suffixes=(".h", ".cc")):
+    """Yields SourceFile for every matching file under root/<subdir>.
+
+    When none of the requested subdirs exist (e.g. an analyzer fixture
+    directory), scans `root` itself recursively instead.
+    """
+    root = Path(root)
+    bases = [root / s for s in subdirs if (root / s).is_dir()]
+    if not bases:
+        bases = [root]
+    seen = set()
+    for base in bases:
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in suffixes or not path.is_file():
+                continue
+            if path in seen:
+                continue
+            seen.add(path)
+            yield SourceFile(path, path.relative_to(root))

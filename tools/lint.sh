@@ -41,6 +41,16 @@ else
   note "SKIP: python3 not found"
 fi
 
+# ------------------------------------------------- dido invariant analyzer --
+# Full static-analysis sweep (thread-safety build + cppcheck included) is
+# tools/analyze.sh; lint runs just the fast pure-Python invariant passes.
+note "dido_analyze: epoch-pin / fault-point / lock-annotation passes"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m tools.dido_analyze "$REPO_ROOT" || STATUS=1
+else
+  note "SKIP: python3 not found"
+fi
+
 # ------------------------------------------------------------ clang-format --
 if command -v clang-format >/dev/null 2>&1; then
   if [[ $FIX -eq 1 ]]; then
