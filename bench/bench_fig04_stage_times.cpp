@@ -28,6 +28,14 @@ int main() {
     std::printf("%-22s %8lu %14.1f %14.1f %18.1f\n", workload.Name().c_str(),
                 static_cast<unsigned long>(m.batch_size), stages[0].time_us,
                 stages[1].time_us, stages[2].time_us);
+    bench::BenchRecord record;
+    record.name = "fig04_" + workload.Name();
+    record.mops = m.throughput_mops;
+    record.extra = {{"batch", static_cast<double>(m.batch_size)},
+                    {"np_us", stages[0].time_us},
+                    {"in_us", stages[1].time_us},
+                    {"rs_us", stages[2].time_us}};
+    bench::WriteBenchJson(record);
   }
   bench::PrintFooter(
       "paper: NP 25-42us, IN 174us->97us with growing KV size, R&S = 300us "

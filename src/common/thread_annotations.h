@@ -79,4 +79,53 @@
 //   void TouchObject(KvObject* object) DIDO_REQUIRES_EPOCH;
 #define DIDO_REQUIRES_EPOCH
 
+// Hot-path purity marker (not a Clang attribute — purity here is a DIDO
+// contract, not a language property).  A function annotated DIDO_HOT is a
+// stage kernel on the per-query critical path (PP/IN.S/IN.I/IN.D/KC/RD):
+// neither it nor anything reachable from it through the call graph may
+// acquire a mutex, allocate from the heap, perform a syscall (including
+// logging), or block — the paper's Fig. 4 stage-time model is only valid
+// while these loops stay pure, and ROADMAP item 3 (SoA/SIMD hot path)
+// assumes it.  tools/dido_analyze's hot pass walks the transitive call
+// graph from every DIDO_HOT root and reports each impure primitive it can
+// reach; deliberate exceptions carry `dido-analyze: allow(hot): <reason>`
+// at the offending line.  Place it after the parameter list:
+//   void RunIndexSearch(QueryBatch* batch, size_t b, size_t e) DIDO_HOT;
+#define DIDO_HOT
+
+// Hot-path boundary marker, the complement of DIDO_HOT.  A function
+// annotated DIDO_COLD is an *explicit* impurity boundary: its declared job
+// is resource management or control-plane work (the MM stage's
+// allocation/eviction, a profiler's per-epoch finalization), so walking
+// into it from a DIDO_HOT root would tautologically flag the function for
+// doing exactly what it exists to do.  The hot pass stops its transitive
+// walk at DIDO_COLD functions; their own contracts (ownership, response
+// completeness) are still checked by the other passes.  Use it only where
+// the paper itself places the work off the per-query critical path — a
+// convenience escape for ordinary hot-path calls belongs in an
+// `allow(hot)` comment at the call site instead, where the reason is
+// visible in the diff.
+#define DIDO_COLD
+
+// Allocation-ownership marker.  A function annotated
+// DIDO_TRANSFERS_OWNERSHIP returns a successfully-allocated KvObject whose
+// ownership passes to the caller: on every control-flow path the caller
+// must publish it (index Insert + response), retire it
+// (RetireObject/RetireDetached/Free), return it onward (from a function
+// that itself carries this marker), or the ownership pass of
+// tools/dido_analyze reports a potential slab leak.  Failure-path returns
+// (`return <v>.status()`, `return Status::...`) are exempt — the callee
+// only transfers ownership on success.
+#define DIDO_TRANSFERS_OWNERSHIP
+
+// Response-completeness marker.  A function annotated DIDO_MUST_RESPOND
+// sits on the request path where the chaos suite's exactly-once
+// arithmetic (`ingested − shed == responses`) is asserted dynamically:
+// every error-guarded early exit (continue/break/return under a failure
+// condition) must either set a per-record response status, emit a response
+// frame, or bump a shed/error counter before leaving.  The response pass
+// of tools/dido_analyze checks each such exit; deliberate exceptions carry
+// `dido-analyze: allow(resp): <reason>`.
+#define DIDO_MUST_RESPOND
+
 #endif  // DIDO_COMMON_THREAD_ANNOTATIONS_H_

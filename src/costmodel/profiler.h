@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "pipeline/batch.h"
 #include "pipeline/task_costs.h"
 
@@ -70,7 +71,10 @@ class WorkloadProfiler {
   bool has_observations() const { return observed_batches_ > 0; }
 
  private:
-  void FinalizeEpoch();
+  // DIDO_COLD: per-epoch skew estimation (zeta sums, allocation) runs once
+  // every batches_per_epoch observations — control plane by construction,
+  // so the hot pass does not walk into it from the stage loops.
+  void FinalizeEpoch() DIDO_COLD;
 
   Options options_;
   WorkloadProfileData last_measured_;

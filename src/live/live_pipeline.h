@@ -225,8 +225,16 @@ class LivePipeline {
   // Called outside stats_mu_ (prediction is comparatively expensive).
   void ObserveDrift(const QueryBatch& batch);
 
-  void IngressLoop(TrafficSource* source);
-  void StageLoop(size_t stage_index);
+  // Request-path loops: every error-guarded early exit must shed with a
+  // counter or produce response frames (checked by the analyzer's resp
+  // pass — the static half of `ingested - shed == responses`).
+  void IngressLoop(TrafficSource* source) DIDO_MUST_RESPOND;
+  // StageLoop is additionally DIDO_HOT: it wraps the per-query kernels,
+  // so everything it reaches is on the live critical path.  Its justified
+  // impurities (queue waits, metrics, tracing) carry allow(hot) comments
+  // at the offending lines — the analyzer keeps the *unjustified* set
+  // empty rather than pretending the loop is pure.
+  void StageLoop(size_t stage_index) DIDO_HOT DIDO_MUST_RESPOND;
   void WatchdogLoop();
   // Runs every KV task of `stages` on the whole batch inline on the calling
   // thread (RV/PP/SD excluded), in stage order.

@@ -55,7 +55,8 @@ class MemoryManager {
   // allocation; callers that give up call NoteAllocationFailure().
   Result<KvObject*> AllocateObject(
       std::string_view key, std::string_view value, uint32_t version,
-      std::vector<SlabAllocator::EvictedObject>* evictions);
+      std::vector<SlabAllocator::EvictedObject>* evictions)
+      DIDO_TRANSFERS_OWNERSHIP;
 
   // Releases an object (DELETE query path, or replacing a SET).
   void FreeObject(KvObject* object);

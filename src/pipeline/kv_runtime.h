@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/cuckoo_hash_table.h"
 #include "mem/memory_manager.h"
 #include "pipeline/batch.h"
@@ -79,17 +80,28 @@ class KvRuntime {
 
   // --- batch-global tasks ---
 
+  // The per-query stage kernels below carry DIDO_HOT (transitively
+  // lock/alloc/syscall/blocking-free, machine-checked by the analyzer's
+  // hot pass) and/or DIDO_MUST_RESPOND (every error-guarded early exit
+  // produces a response status or bumps an error counter — the static
+  // half of the chaos suite's exactly-once arithmetic).
+
   // PP: parses every frame in the batch into QueryRecords and hashes keys.
-  Status RunPacketProcessing(QueryBatch* batch);
+  Status RunPacketProcessing(QueryBatch* batch) DIDO_HOT;
 
   // --- range tasks: operate on queries [begin, end) ---
 
-  // MM: allocates objects for SETs, recording evictions.
-  void RunMemoryManagement(QueryBatch* batch, size_t begin, size_t end);
+  // MM: allocates objects for SETs, recording evictions.  DIDO_COLD, not
+  // DIDO_HOT: allocation and the eviction cycle are the paper's explicit
+  // off-hot-path stage, so the hot pass stops its walk here instead of
+  // flagging MM for doing its job.
+  void RunMemoryManagement(QueryBatch* batch, size_t begin, size_t end)
+      DIDO_COLD DIDO_MUST_RESPOND;
   // IN.S: collects index candidates for GETs.
-  void RunIndexSearch(QueryBatch* batch, size_t begin, size_t end);
+  void RunIndexSearch(QueryBatch* batch, size_t begin, size_t end) DIDO_HOT;
   // IN.I: publishes SET objects in the index.
-  void RunIndexInsert(QueryBatch* batch, size_t begin, size_t end);
+  void RunIndexInsert(QueryBatch* batch, size_t begin, size_t end)
+      DIDO_HOT DIDO_MUST_RESPOND;
   // IN.D: explicit DELETE queries.  A SET's superseded version is unlinked
   // atomically by the Insert CAS (as in Mega-KV's in-place index update),
   // so there is never a window in which the key is absent; the unlink is
@@ -99,14 +111,17 @@ class KvRuntime {
   // an eviction's index Delete must precede the victim's retirement, so it
   // runs inline in MM (see AllocateWithEviction) and only its count flows
   // through the measurements.
-  void RunIndexDelete(QueryBatch* batch, size_t begin, size_t end);
+  void RunIndexDelete(QueryBatch* batch, size_t begin, size_t end)
+      DIDO_HOT DIDO_MUST_RESPOND;
   // KC: verifies candidates by full-key comparison; bumps LRU + sampling.
-  void RunKeyComparison(QueryBatch* batch, size_t begin, size_t end);
+  void RunKeyComparison(QueryBatch* batch, size_t begin, size_t end)
+      DIDO_HOT DIDO_MUST_RESPOND;
   // RD: copies values into the staging buffer (only when RD and WR live in
   // different stages; otherwise it just validates reachability).
-  void RunReadValue(QueryBatch* batch, size_t begin, size_t end);
+  void RunReadValue(QueryBatch* batch, size_t begin, size_t end) DIDO_HOT;
   // WR: encodes response records into response frames.
-  void RunWriteResponse(QueryBatch* batch, size_t begin, size_t end);
+  void RunWriteResponse(QueryBatch* batch, size_t begin, size_t end)
+      DIDO_MUST_RESPOND;
 
   // Dispatches a range task by kind (used by the executor and by work
   // stealing).  RV/PP/SD are not dispatchable here.
@@ -139,7 +154,7 @@ class KvRuntime {
   Result<KvObject*> AllocateWithEviction(
       std::string_view key, std::string_view value, uint32_t version,
       std::vector<SlabAllocator::EvictedObject>* evictions,
-      uint64_t* retries = nullptr);
+      uint64_t* retries = nullptr) DIDO_TRANSFERS_OWNERSHIP;
 
   std::unique_ptr<CuckooHashTable> index_;
   std::unique_ptr<MemoryManager> memory_;

@@ -146,8 +146,14 @@ void EpochManager::Retire(void* ptr, Deleter deleter, void* ctx) {
   DIDO_CHECK(ptr != nullptr);
   DIDO_CHECK(deleter != nullptr);
   {
+    // dido-analyze: allow(hot): retirement is the deferred-reclamation
+    // slow path, reached from IN.I only on insert failure or SET
+    // supersede; the short limbo-list critical section is the price of
+    // keeping Pin/Unpin (the per-query operations) lock-free.
     MutexLock lock(limbo_mu_);
     const uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+    // dido-analyze: allow(hot): limbo list reaches steady-state capacity;
+    // growth is amortized across retirements (see the lock note above).
     limbo_[epoch % kGenerations].push_back(RetiredPtr{ptr, deleter, ctx});
   }
   // relaxed: monotonic statistic; the amortized scan below re-checks all
@@ -177,6 +183,9 @@ size_t EpochManager::AdvanceAndDrainLocked() {
   if (!CanAdvance(epoch)) return 0;
   std::vector<RetiredPtr> drained;
   {
+    // dido-analyze: allow(hot): amortized drain — reached from a stage
+    // kernel only via Retire's every-Nth-retirement TryReclaim scan, and
+    // the swap under the lock is O(1).
     MutexLock lock(limbo_mu_);
     // Generation (epoch-1) mod 3 holds pointers retired during epoch-1.
     // Every reader that could have collected them pinned at <= epoch-1,
@@ -195,6 +204,9 @@ size_t EpochManager::AdvanceAndDrainLocked() {
 }
 
 size_t EpochManager::TryReclaim() {
+  // dido-analyze: allow(hot): single-reclaimer gate for the amortized
+  // scan Retire triggers every retires_per_scan retirements; stage
+  // kernels hit it on the reclamation slow path only.
   MutexLock lock(reclaim_mu_);
   return AdvanceAndDrainLocked();
 }

@@ -1,0 +1,10 @@
+// Analyzer fixture — NOT compiled.  Seeded memory-order violation: an
+// atomic operation downgraded from seq_cst with no justifying comment
+// anywhere in the lookback window.  (This header must not spell the
+// justifying keyword, or it would accidentally satisfy the lint.)
+
+std::atomic<unsigned> g_ticket{0};
+
+unsigned NextTicket() {
+  return g_ticket.fetch_add(1, std::memory_order_relaxed);  // expect: [memorder]
+}

@@ -1,0 +1,19 @@
+// Analyzer fixture — NOT compiled.  Seeded allocation-ownership
+// violations against the DIDO_TRANSFERS_OWNERSHIP contract: one early
+// return that leaks a bound allocation, and one call whose owned result
+// is discarded outright.
+
+FixtureObject* AllocateObject(int v) DIDO_TRANSFERS_OWNERSHIP;
+
+bool StoreWithLeak(int v) {
+  FixtureObject* object = AllocateObject(v);
+  if (v < 0) {
+    return false;  // expect: [own] leaky return — no sink reached yet
+  }
+  Insert(object);
+  return true;
+}
+
+void FireAndForget(int v) {
+  AllocateObject(v);  // expect: [own] discarded owned result
+}

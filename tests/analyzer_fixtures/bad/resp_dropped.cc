@@ -1,0 +1,16 @@
+// Analyzer fixture — NOT compiled.  Seeded response-completeness
+// violation: a DIDO_MUST_RESPOND worker skips a request under an error
+// guard without producing a response frame, record status, or shed/error
+// counter — the static face of `ingested - shed == responses`.
+
+void DrainWorklist(FixtureWorklist* list) DIDO_MUST_RESPOND;
+
+void DrainWorklist(FixtureWorklist* list) {
+  while (HasWork(list)) {
+    FixtureStatus status = ValidateNext(list);
+    if (!status.ok()) {
+      continue;  // expect: [resp] error-guarded exit with no accounting
+    }
+    ApplyNext(list);
+  }
+}

@@ -1,0 +1,16 @@
+// Analyzer fixture — NOT compiled.  Clean twin of bad/hot_impure.cc: the
+// kernel's arithmetic is pure, and its one deliberate primitive carries a
+// reasoned allow comment (exercising the suppression grammar's
+// comment-block + first-code-line coverage).
+
+int Accumulate(int v) { return v * 2 + 1; }
+
+void RunHotKernel(int v) DIDO_HOT;
+
+void RunHotKernel(int v) {
+  const int cooked = Accumulate(v);
+  // dido-analyze: allow(hot): amortized append — the sink vector reaches
+  // steady-state capacity after warm-up, so the common case is a bump of
+  // the size field, not an allocation.
+  g_sink.push_back(cooked);
+}

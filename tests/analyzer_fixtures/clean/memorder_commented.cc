@@ -1,0 +1,16 @@
+// Analyzer fixture — NOT compiled.  Clean twin of bad/memorder_bare.cc:
+// one downgrade justified by the original 'relaxed' comment convention,
+// one by the analyzer's shared allow() suppression grammar.
+
+std::atomic<unsigned> g_ticket{0};
+
+unsigned NextTicket() {
+  // relaxed: the ticket only needs to be unique; it orders nothing.
+  return g_ticket.fetch_add(1, std::memory_order_relaxed);
+}
+
+unsigned SnapshotTicket() {
+  // dido-analyze: allow(memorder): statistics snapshot — individually
+  // consistent counter read, never used for synchronization.
+  return g_ticket.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,23 @@
+// Analyzer fixture — NOT compiled.  Clean twin of bad/own_leak.cc: every
+// path of the bound allocation reaches a sink (Free on the failure path,
+// Insert on success), and the pass-through function is itself annotated
+// DIDO_TRANSFERS_OWNERSHIP so its bare `return AllocateObject(...)` is a
+// hand-off, not a leak.
+
+FixtureObject* AllocateObject(int v) DIDO_TRANSFERS_OWNERSHIP;
+
+bool StoreWithRetire(int v) {
+  FixtureObject* object = AllocateObject(v);
+  if (v < 0) {
+    Free(object);
+    return false;
+  }
+  Insert(object);
+  return true;
+}
+
+FixtureObject* AllocateTraced(int v) DIDO_TRANSFERS_OWNERSHIP;
+
+FixtureObject* AllocateTraced(int v) {
+  return AllocateObject(v);
+}

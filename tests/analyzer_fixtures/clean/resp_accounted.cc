@@ -1,0 +1,23 @@
+// Analyzer fixture — NOT compiled.  Clean twin of bad/resp_dropped.cc:
+// each error-guarded exit first accounts for the request (an error
+// counter on the validation path), and the injected-fault exit carries a
+// reasoned allow comment (shared suppression grammar).
+
+void DrainWorklist(FixtureWorklist* list) DIDO_MUST_RESPOND;
+
+void DrainWorklist(FixtureWorklist* list) {
+  while (HasWork(list)) {
+    FixtureStatus status = ValidateNext(list);
+    if (!status.ok()) {
+      g_error_requests += 1;
+      continue;
+    }
+    if (StallInjected(list)) {
+      // dido-analyze: allow(resp): injected-fault exit — the chaos
+      // harness accounts for requests parked behind an armed fault
+      // point, mirroring the real tree's fault-injection waivers.
+      break;
+    }
+    ApplyNext(list);
+  }
+}

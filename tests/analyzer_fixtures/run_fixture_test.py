@@ -40,8 +40,15 @@ EXPECTED_BAD = [
     ("already instrumented", "[fault]"),      # duplicate fix.good.point site
     ("mem.stale.entry", "[fault]"),           # catalog entry with no site
     ("fix.unrehearsed.point", "[fault]"),     # cataloged but not rehearsed
+    ("hot_impure.cc:6", "[hot]"),             # transitive blocking wait
+    ("hot_impure.cc:13", "[hot]"),            # mutex acquisition in the root
+    ("hot_impure.cc:14", "[hot]"),            # heap allocation in the root
+    ("own_leak.cc:11", "[own]"),              # early return before any sink
+    ("own_leak.cc:18", "[own]"),              # discarded owned result
+    ("resp_dropped.cc:12", "[resp]"),         # error-guarded silent continue
+    ("memorder_bare.cc:9", "[memorder]"),     # unjustified relaxed downgrade
 ]
-EXPECTED_BAD_COUNT = 6
+EXPECTED_BAD_COUNT = 13
 
 
 def main():

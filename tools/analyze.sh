@@ -6,14 +6,21 @@
 #   tools/analyze.sh [--skip-build]
 #
 # Runs, in order:
-#   1. the dido invariant analyzer (tools/dido_analyze: epoch-pin,
-#      fault-point, and lock-annotation passes) over the real tree,
+#   1. the dido invariant analyzer (tools/dido_analyze: all seven passes —
+#      epoch-pin, fault-point, lock-annotation, hot-path purity,
+#      allocation-ownership, response-completeness, memory-order) over the
+#      real tree, with --backend auto so libclang / `clang -ast-dump=json`
+#      refine the call graph when a compile_commands.json is available
+#      (override with DIDO_ANALYZE_BACKEND=text to force the reference
+#      backend),
 #   2. its fixture self-test (seeded violations must all be caught),
-#   3. the memory-order justification lint,
-#   4. a Clang -Wthread-safety build (errors) via the thread-safety preset,
-#   5. cppcheck over src/ with the committed suppression list.
+#   3. a Clang -Wthread-safety build (errors) via the thread-safety preset,
+#   4. cppcheck over src/ with the committed suppression list.
 #
-# Steps 4 and 5 are skipped with a notice when clang++/cppcheck are not
+# The old standalone memory-order lint is the analyzer's memorder pass now;
+# tools/check_memory_order.py remains as a deprecation shim only.
+#
+# Steps 3 and 4 are skipped with a notice when clang++/cppcheck are not
 # installed (the analyzer and lints are pure Python and always run); CI
 # uses an image that has both, so a skip there is a job misconfiguration.
 
@@ -28,15 +35,13 @@ STATUS=0
 note() { printf '== %s\n' "$*"; }
 
 # --------------------------------------------------- dido invariant passes --
-note "dido_analyze: epoch-pin / fault-point / lock-annotation passes"
+note "dido_analyze: all contract passes (backend: ${DIDO_ANALYZE_BACKEND:-auto})"
 if command -v python3 >/dev/null 2>&1; then
-  python3 -m tools.dido_analyze "$REPO_ROOT" || STATUS=1
+  python3 -m tools.dido_analyze "$REPO_ROOT" \
+    --backend "${DIDO_ANALYZE_BACKEND:-auto}" || STATUS=1
 
   note "dido_analyze: fixture self-test"
   python3 tests/analyzer_fixtures/run_fixture_test.py "$REPO_ROOT" || STATUS=1
-
-  note "custom lint: memory_order_relaxed justification"
-  python3 tools/check_memory_order.py "$REPO_ROOT" || STATUS=1
 else
   note "FAIL: python3 not found (required for the invariant analyzer)"
   STATUS=1

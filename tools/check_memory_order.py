@@ -1,118 +1,37 @@
 #!/usr/bin/env python3
-"""Custom lint: no unjustified std::memory_order_relaxed on hot paths.
+"""DEPRECATED shim: the memory-order lint now lives in tools/dido_analyze.
 
-DIDO's correctness rests on the CPU/GPU work-stealing tag array and the
-inter-stage batch queues; a silently-downgraded memory order there is
-exactly the class of bug a reviewer cannot see locally.  This check
-forbids `memory_order_relaxed` in the audited files unless the use is
-justified by a nearby comment containing the word "relaxed" (same line,
-or a comment within the preceding JUSTIFICATION_WINDOW lines) — forcing
-every downgrade to carry its reasoning in the source.
+The standalone checker was folded into the invariant analyzer as its
+`memorder` pass (ISSUE 7), where it shares the file-discovery and
+suppression machinery (`dido-analyze: allow(memorder): <reason>` now works
+alongside the original justifying-'relaxed'-comment convention).  This
+shim keeps the old entry point alive for scripts and muscle memory:
 
-The audit set is discovered, not maintained: every src/**/*.h and
-src/**/*.cc that mentions `std::atomic` or `memory_order` is audited
-automatically, so a new lock-free component cannot dodge the check by
-not being on a list.  Files with a reason to be exempt go in OPT_OUT
-with that reason.
+    python3 tools/check_memory_order.py [repo-root]
+        ==  python3 -m tools.dido_analyze [repo-root] --pass memorder
 
-Exit status: 0 clean, 1 violations found, 2 usage error.
+Exit status is unchanged: 0 clean, 1 violations, 2 usage error.
 """
 
-import re
 import sys
 from pathlib import Path
 
-# Repo-relative paths excluded from the audit, each with its reason.
-# Keep this list short: an entry here is a standing waiver.
-OPT_OUT = {
-    # (no current opt-outs — every atomic-bearing file justifies its
-    # relaxed uses; add "src/path/file.cc": "reason" entries sparingly)
-}
 
-JUSTIFICATION_WINDOW = 10  # lines of lookback for a justifying comment
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "."
+    print(
+        "check_memory_order: deprecated — running "
+        "`python3 -m tools.dido_analyze --pass memorder` instead; "
+        "switch callers to the analyzer.",
+        file=sys.stderr,
+    )
+    # The package import needs the repo root (the directory holding
+    # tools/) on sys.path; resolve it from this file, not the argument,
+    # so the shim works from any CWD.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from tools.dido_analyze.__main__ import main as analyze_main
 
-# NOTE: `std::atomic|memory_order`, not \b-anchored `memory_order\b` —
-# the latter fails to match `memory_order_relaxed` itself.
-DISCOVERY_RE = re.compile(r"std::atomic|memory_order")
-RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
-COMMENT_RE = re.compile(r"//(.*)$")
-
-
-def discover_audited_files(root: Path) -> list:
-    """Every src/**/*.{h,cc} using atomics, minus the opt-out list."""
-    audited = []
-    for path in sorted((root / "src").rglob("*")):
-        if path.suffix not in (".h", ".cc") or not path.is_file():
-            continue
-        rel = str(path.relative_to(root))
-        if rel in OPT_OUT_NORMALIZED:
-            continue
-        if DISCOVERY_RE.search(path.read_text(encoding="utf-8")):
-            audited.append(rel)
-    return audited
-
-
-OPT_OUT_NORMALIZED = {str(Path(p)) for p in OPT_OUT}
-
-
-def line_has_justification(line: str) -> bool:
-    match = COMMENT_RE.search(line)
-    return match is not None and "relaxed" in match.group(1).lower()
-
-
-def check_file(path: Path) -> list:
-    violations = []
-    lines = path.read_text(encoding="utf-8").splitlines()
-    for i, line in enumerate(lines):
-        if not RELAXED_RE.search(line):
-            continue
-        # A justifying comment may sit on the offending line itself...
-        if line_has_justification(line):
-            continue
-        # ...or in the lookback window above it.
-        window = lines[max(0, i - JUSTIFICATION_WINDOW) : i]
-        if any(line_has_justification(prev) for prev in window):
-            continue
-        violations.append((i + 1, line.strip()))
-    return violations
-
-
-def main(argv: list) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path(".")
-    if not (root / "src").is_dir():
-        print(f"check_memory_order: '{root}' is not the repo root", file=sys.stderr)
-        return 2
-    failed = False
-    # A stale opt-out entry is itself an error: waivers must not outlive
-    # the file they waived.
-    for rel in sorted(OPT_OUT_NORMALIZED):
-        if not (root / rel).exists():
-            print(f"check_memory_order: opt-out entry for missing file: {rel}",
-                  file=sys.stderr)
-            failed = True
-    audited = discover_audited_files(root)
-    if not audited:
-        print("check_memory_order: discovery found no atomic-bearing files "
-              "under src/ — that cannot be right", file=sys.stderr)
-        return 2
-    for rel in audited:
-        for line_no, text in check_file(root / rel):
-            failed = True
-            print(
-                f"{rel}:{line_no}: memory_order_relaxed without a "
-                f"justifying 'relaxed' comment within "
-                f"{JUSTIFICATION_WINDOW} lines:\n    {text}"
-            )
-    if failed:
-        print(
-            "\ncheck_memory_order: every relaxed atomic on a hot path must "
-            "explain why the downgrade is safe (search DESIGN.md for "
-            "'memory order')."
-        )
-        return 1
-    print(f"check_memory_order: clean ({len(audited)} files audited, "
-          f"{len(OPT_OUT)} opted out)")
-    return 0
+    return analyze_main([root, "--pass", "memorder"])
 
 
 if __name__ == "__main__":

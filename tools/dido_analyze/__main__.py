@@ -1,36 +1,57 @@
 """CLI: python3 tools/dido_analyze <repo-root> [--pass ...] [--backend ...]
 
-Exit status mirrors tools/check_memory_order.py: 0 clean, 1 findings,
-2 usage error.
+Exit status: 0 clean, 1 findings, 2 usage error (the convention the old
+standalone tools/check_memory_order.py established).
 """
 
 import argparse
 import sys
 from pathlib import Path
 
-from . import clang_backend, epoch_pass, fault_pass, lock_pass, source
+from . import (callgraph, clang_backend, epoch_pass, fault_pass, hot_pass,
+               lock_pass, memorder_pass, ownership_pass, response_pass,
+               source)
+
+ALL_PASSES = ("epoch", "fault", "lock", "hot", "own", "resp", "memorder")
+
+# Passes that share the call-graph model (built once per run).
+CALLGRAPH_PASSES = ("hot", "own", "resp")
 
 
 def parse_args(argv):
     parser = argparse.ArgumentParser(
         prog="dido_analyze",
         description="DIDO concurrency-contract static analysis "
-        "(epoch-pin, fault-point, lock-annotation passes).",
+        "(epoch-pin, fault-point, lock-annotation, hot-path purity, "
+        "allocation-ownership, response-completeness, and memory-order "
+        "passes).",
     )
     parser.add_argument("root", help="repo root (or a fixture directory)")
     parser.add_argument(
         "--pass",
         dest="passes",
         action="append",
-        choices=["epoch", "fault", "lock", "all"],
+        choices=list(ALL_PASSES) + ["all"],
         help="pass to run (repeatable; default: all)",
     )
     parser.add_argument(
         "--backend",
-        choices=["text", "clang"],
+        choices=["text", "clang", "libclang", "clang-json", "auto"],
         default="text",
-        help="lock-pass backend; 'clang' needs the libclang Python "
-        "bindings and falls back to 'text' with a notice when absent",
+        help="AST backend for the lock pass and the call-graph passes. "
+        "'auto' picks libclang, then `clang -Xclang -ast-dump=json`, then "
+        "text, depending on what is installed and whether a "
+        "compile_commands.json is found; 'clang' is the pre-ISSUE-7 "
+        "spelling of 'auto'.  Explicit AST choices degrade to text with "
+        "a notice when their prerequisites are missing — the exit status "
+        "never depends on clang being healthy.",
+    )
+    parser.add_argument(
+        "--compile-commands",
+        default=None,
+        help="compile_commands.json for the AST backends (default: "
+        "$DIDO_COMPILE_COMMANDS, then build*/compile_commands.json "
+        "under the root)",
     )
     parser.add_argument(
         "--catalog",
@@ -55,12 +76,15 @@ def main(argv=None):
         return 2
     passes = set(args.passes or ["all"])
     if "all" in passes:
-        passes = {"epoch", "fault", "lock"}
+        passes = set(ALL_PASSES)
 
     files = list(source.discover(root))
     if not files:
         print(f"dido_analyze: no .h/.cc files under '{root}'", file=sys.stderr)
         return 2
+
+    backend, ccdb = clang_backend.resolve_backend(
+        args.backend, root, args.compile_commands)
 
     findings = []
     if "epoch" in passes:
@@ -85,16 +109,23 @@ def main(argv=None):
             files_for_sites, catalog, chaos_text, str(chaos_path)
         )
     if "lock" in passes:
-        if args.backend == "clang" and clang_backend.available():
+        if backend in ("libclang",) and clang_backend.available():
             findings += clang_backend.run_lock_pass(files)
         else:
-            if args.backend == "clang":
-                print(
-                    "dido_analyze: clang Python bindings not installed; "
-                    "using the textual lock-pass backend",
-                    file=sys.stderr,
-                )
             findings += lock_pass.run(files)
+
+    model = None
+    model_backend = "text"
+    if passes & set(CALLGRAPH_PASSES):
+        model, model_backend = callgraph.build_model(files, backend, ccdb)
+    if "hot" in passes:
+        findings += hot_pass.run(files, model)
+    if "own" in passes:
+        findings += ownership_pass.run(files, model)
+    if "resp" in passes:
+        findings += response_pass.run(files, model)
+    if "memorder" in passes:
+        findings += memorder_pass.run(files)
 
     findings.sort(key=lambda f: (f.rel, f.line))
     for finding in findings:
@@ -107,7 +138,11 @@ def main(argv=None):
         )
         return 1
     ran = ", ".join(sorted(passes))
-    print(f"dido_analyze: clean ({ran} pass(es), {len(files)} files)")
+    suffix = ""
+    if passes & set(CALLGRAPH_PASSES):
+        suffix = f", call-graph backend: {model_backend}"
+    print(f"dido_analyze: clean ({ran} pass(es), {len(files)} files"
+          f"{suffix})")
     return 0
 
 

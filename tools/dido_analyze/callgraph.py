@@ -1,0 +1,381 @@
+"""Call-graph model shared by the hot / own / resp passes.
+
+Builds, from the discovered SourceFiles, a `Model` of every function
+definition in the tree: its (possibly class-qualified) name, source extent,
+body lines, the names it calls, and the contract markers (DIDO_HOT,
+DIDO_TRANSFERS_OWNERSHIP, DIDO_MUST_RESPOND) attached to its declaration or
+definition.  The passes then do reachability walks and per-statement checks
+on top of this model.
+
+Three backends produce the same Model shape:
+
+  text        -- pure-Python brace/statement tracking (always available;
+                 the reference semantics every other backend must match).
+  libclang    -- clang Python bindings + compile_commands.json: function
+                 extents and qualified names come from the real AST, which
+                 sees through templates, operators, and macros the textual
+                 parser skips.  Body-line primitives are still matched
+                 textually on the same source lines, so findings are
+                 line-identical with the text backend wherever both see a
+                 function.
+  clang-json  -- `clang -Xclang -ast-dump=json` per translation unit, for
+                 environments with a clang binary but no Python bindings
+                 (the CI case).  Same extent-refinement contract.
+
+Backend resolution and the AST plumbing live in clang_backend.py; both AST
+backends degrade to `text` with a stderr notice on any failure, so the
+analyzer's exit status never depends on clang being healthy.
+
+Known blind spots of the textual backend (accepted, documented):
+  * operator overloads and conversion functions are not modeled as
+    definitions (their bodies are still brace-tracked, just unattributed);
+  * calls through function pointers / std::function are invisible;
+  * Status factory returns (`Status::OutOfMemory(...)`) construct a
+    std::string but are not treated as hot-path allocation — they only run
+    on failure paths, which are by definition off the hot path.
+"""
+
+import re
+
+from . import source
+
+MARKERS = ("DIDO_HOT", "DIDO_COLD", "DIDO_TRANSFERS_OWNERSHIP",
+           "DIDO_MUST_RESPOND")
+
+# Identifier (possibly Class::Name) directly followed by an argument list.
+_NAME_CALL_RE = re.compile(
+    r"([A-Za-z_~][\w]*(?:::[A-Za-z_~][\w]*)*)\s*\(")
+
+# Statement heads that open a brace but are not function definitions.
+_NON_FUNC_KEYWORDS = frozenset((
+    "if", "else", "for", "while", "switch", "do", "catch", "return",
+    "sizeof", "alignof", "static_assert", "decltype", "new", "delete",
+    "case", "default", "try", "throw", "co_return", "co_await",
+))
+
+# Identifiers collected as potential call edges from a body line.  The
+# resolver later keeps only names that match an in-tree definition, so std::
+# and member-container noise (push_back, load, ...) drops out naturally.
+_CALL_EDGE_RE = re.compile(r"\b([A-Za-z_][\w]*)\s*\(")
+
+# --- impurity primitives (hot pass) ---------------------------------------
+# Each matches against a comment/string-stripped source line.  Findings are
+# reported at the matching line, in the file that owns it, with the call
+# path from the DIDO_HOT root in the message.
+
+LOCK_RE = re.compile(
+    r"\b(?:MutexLock|UniqueMutexLock)\s+\w+\s*\("
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|[.->]\s*(?:Lock|lock|try_lock)\s*\(")
+
+ALLOC_RE = re.compile(
+    r"\bnew\b"
+    r"|\bstd::make_(?:unique|shared)\b|\bmake_(?:unique|shared)\s*<"
+    r"|\b(?:malloc|calloc|realloc|strdup)\s*\("
+    r"|\.(?:push_back|emplace_back|emplace|insert|resize|reserve|append"
+    r"|assign)\s*\("
+    r"|\bstd::to_string\s*\(|\bstd::string\s*\(")
+
+BLOCK_RE = re.compile(
+    r"\b(?:sleep_for|sleep_until|usleep|nanosleep)\s*\("
+    r"|\.join\s*\("
+    r"|\.\s*[Ww]ait(?:For|_for|_until|ForSpace)?\s*\(")
+
+SYSCALL_RE = re.compile(
+    r"\bDIDO_LOG\s*\(\s*(?!Fatal\b)\w+\s*\)"
+    r"|\b(?:printf|fprintf|snprintf|fopen|fwrite|fread|fflush|write|read)"
+    r"\s*\("
+    r"|\bstd::c(?:out|err|log)\b")
+
+PRIMITIVES = (
+    ("lock", LOCK_RE, "mutex acquisition"),
+    ("alloc", ALLOC_RE, "heap allocation"),
+    ("block", BLOCK_RE, "blocking wait"),
+    ("syscall", SYSCALL_RE, "syscall/logging"),
+)
+
+
+class FunctionDef:
+    """One function definition: extent, body lines, callees, markers."""
+
+    def __init__(self, name, qual, sf, head_line):
+        self.name = name          # unqualified: "RunIndexSearch"
+        self.qual = qual          # best-effort: "KvRuntime::RunIndexSearch"
+        self.sf = sf              # owning SourceFile
+        self.head_line = head_line
+        self.end_line = head_line
+        self.body = []            # [(line_no, stripped_text)] incl. head
+        self.callees = set()      # unqualified names of calls in the body
+        self.call_lines = {}      # callee name -> set of call-site line_nos
+        self.markers = set()      # MARKERS present on the definition head
+
+    def add_line(self, line_no, stripped):
+        self.body.append((line_no, stripped))
+        self.end_line = line_no
+        for m in _CALL_EDGE_RE.finditer(stripped):
+            name = m.group(1)
+            if name not in _NON_FUNC_KEYWORDS:
+                self.callees.add(name)
+                self.call_lines.setdefault(name, set()).add(line_no)
+
+    def statements(self):
+        """Yields (first_line_no, text) per `;`/`{`/`}`-terminated statement.
+
+        Brace characters terminate statements but are not included, so an
+        `if (...) {` head and its block body come out as separate
+        statements — enough structure for the own/resp passes.
+        """
+        acc, acc_line = [], None
+        for line_no, text in self.body:
+            for piece in re.split(r"([;{}])", text):
+                if piece in (";", "{", "}"):
+                    stmt = " ".join(acc).strip()
+                    if piece == ";":
+                        stmt = (stmt + ";").strip()
+                    if stmt and stmt not in (";",):
+                        yield (acc_line if acc_line is not None else line_no,
+                               stmt)
+                    acc, acc_line = [], None
+                elif piece.strip():
+                    if acc_line is None:
+                        acc_line = line_no
+                    acc.append(piece.strip())
+        if acc:
+            yield (acc_line, " ".join(acc).strip())
+
+
+class Model:
+    """All function definitions in the tree plus declaration markers."""
+
+    def __init__(self):
+        self.functions = []
+        self.by_name = {}       # unqualified name -> [FunctionDef]
+        self.decl_markers = {}  # unqualified name -> set of MARKERS
+
+    def add(self, fn):
+        self.functions.append(fn)
+        self.by_name.setdefault(fn.name, []).append(fn)
+
+    def add_decl_marker(self, name, marker):
+        self.decl_markers.setdefault(name, set()).add(marker)
+
+    def markers_of(self, fn):
+        return fn.markers | self.decl_markers.get(fn.name, set())
+
+    def annotated(self, marker):
+        """Every FunctionDef whose declaration or definition carries marker."""
+        return [fn for fn in self.functions if marker in self.markers_of(fn)]
+
+
+# A declaration is `Name(...)` ... markers ... `;` with no `{` between the
+# close-paren and the semicolon (a definition would have one).  DOTALL lets
+# parameter lists span lines; one declaration may carry several markers.
+_DECL_MARKER_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\((?:[^()]|\([^()]*\))*\)([^;{}]*?;)",
+    re.DOTALL)
+_MARKER_RE = re.compile(r"\b(" + "|".join(MARKERS) + r")\b")
+
+
+def _collect_decl_markers(model, sf):
+    text = "\n".join(
+        source.strip_comments_and_strings(l) for l in sf.lines)
+    for m in _DECL_MARKER_RE.finditer(text):
+        for marker in _MARKER_RE.findall(m.group(2)):
+            model.add_decl_marker(m.group(1), marker)
+
+
+def _head_function_name(head):
+    """Function (or ctor) name from a `{`-opening statement head, or None."""
+    first = head.split(None, 1)[0] if head.split() else ""
+    if first in ("class", "struct", "enum", "namespace", "union",
+                 "extern", "template", "typedef", "using"):
+        return None
+    # Skip over return types like Result<KvObject*>: take the first
+    # identifier followed by '(' that is not a keyword and not immediately
+    # preceded by a template angle bracket.
+    for m in _NAME_CALL_RE.finditer(head):
+        name = m.group(1)
+        base = name.split("::")[-1]
+        if base in _NON_FUNC_KEYWORDS or base.isupper():
+            continue  # control flow or a macro like DIDO_CHECK
+        # `= {`-style initializers: `const X kTable[] = {...}` never has
+        # Name( before '='; a match inside a default argument would, but
+        # those occur only in declarations (which end with ';', not '{').
+        return name
+    return None
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "fn")
+
+    def __init__(self, kind, name=None, fn=None):
+        self.kind = kind  # "namespace" | "class" | "func" | "block"
+        self.name = name
+        self.fn = fn
+
+
+def build_text_model(files):
+    """Reference backend: textual brace/statement tracking over files."""
+    model = Model()
+    for sf in files:
+        _collect_decl_markers(model, sf)
+        _parse_file(model, sf)
+    return model
+
+
+def _parse_file(model, sf):
+    scopes = []    # innermost last
+    acc = []       # statement-head accumulator since last ; { } (chars)
+    acc_start = 1  # line where acc last became non-empty
+
+    def innermost_fn():
+        for scope in reversed(scopes):
+            if scope.kind == "func":
+                return scope.fn
+        return None
+
+    def class_name():
+        names = [s.name for s in scopes if s.kind == "class" and s.name]
+        return names[-1] if names else None
+
+    for line_no, raw in enumerate(sf.lines, start=1):
+        stripped = source.strip_comments_and_strings(raw)
+        fn = innermost_fn()
+        buf = []  # chars of this line attributed to the current fn
+
+        def flush(target):
+            if target is not None and "".join(buf).strip():
+                target.add_line(line_no, "".join(buf).strip())
+            del buf[:]
+
+        for ch in stripped:
+            if ch == "{":
+                head = "".join(acc).strip()
+                acc = []
+                if fn is not None:
+                    # A block (loop, lambda, init list) inside the body.
+                    scopes.append(_Scope("block"))
+                    buf.append(ch)
+                    continue
+                name = _head_function_name(head)
+                first = head.split(None, 1)[0] if head.split() else ""
+                if first in ("class", "struct") and name is None:
+                    m = re.match(r"(?:class|struct)\s+(?:\w+\s+)*?(\w+)",
+                                 head)
+                    scopes.append(
+                        _Scope("class", m.group(1) if m else None))
+                elif first == "namespace":
+                    m = re.match(r"namespace\s+([\w:]+)?", head)
+                    scopes.append(
+                        _Scope("namespace", m.group(1) if m else None))
+                elif name is not None and "=" not in head.split("(")[0]:
+                    qual = name
+                    if "::" not in name and class_name():
+                        qual = f"{class_name()}::{name}"
+                    new_fn = FunctionDef(name.split("::")[-1], qual, sf,
+                                         acc_start)
+                    for marker in MARKERS:
+                        if re.search(rf"\b{marker}\b", head):
+                            new_fn.markers.add(marker)
+                    # The accumulated head (may span lines; includes ctor
+                    # initializer lists, which hold call edges) opens the
+                    # body extent.
+                    new_fn.add_line(acc_start, head + " {")
+                    model.add(new_fn)
+                    scopes.append(_Scope("func", fn=new_fn))
+                    fn = new_fn
+                    del buf[:]
+                else:
+                    scopes.append(_Scope("block"))
+            elif ch == "}":
+                if fn is not None:
+                    buf.append(ch)
+                if scopes:
+                    closing = scopes.pop()
+                    if closing.kind == "func" and closing.fn is not None:
+                        flush(closing.fn)
+                        closing.fn.end_line = line_no
+                        fn = innermost_fn()
+                acc = []
+            elif ch == ";":
+                acc = []
+                if fn is not None:
+                    buf.append(ch)
+            else:
+                if fn is None:
+                    if ch.strip() and not acc:
+                        acc_start = line_no
+                    acc.append(ch)
+                else:
+                    buf.append(ch)
+        # Line break = token boundary for a multi-line statement head.
+        if fn is None and acc:
+            acc.append(" ")
+        flush(fn)
+
+
+def build_model(files, backend="text", compile_commands=None):
+    """Builds a Model with the requested backend, degrading to text.
+
+    Returns (model, resolved_backend_name).  Degradation prints a notice to
+    stderr (via clang_backend) so CI logs show which backend actually ran.
+    """
+    if backend in ("libclang", "clang-json"):
+        from . import clang_backend
+        model = clang_backend.build_ast_model(files, backend,
+                                              compile_commands)
+        if model is not None:
+            return model, backend
+        backend = "text"
+    return build_text_model(files), "text"
+
+
+def reachable(model, roots, prune_pass=None):
+    """BFS over call edges from `roots`.
+
+    Returns {FunctionDef: path} where path is the chain of function names
+    from a root to that definition (roots map to a one-element path).
+    Resolution is by unqualified name — conservative: a name shared by
+    several definitions pulls all of them in.  Only CamelCase names (the
+    repo's method convention) are resolved: lowercase callees like
+    `.size()` / `.ok()` are ubiquitous STL/accessor spellings whose
+    name-only resolution would wire every kernel to every container-like
+    class in the tree.  Lowercase primitives are still caught by the
+    regexes; a lowercase in-tree function that locks is a (documented)
+    blind spot.
+
+    Two pruning mechanisms keep justified hand-offs out of the walk:
+
+      * a callee marked DIDO_COLD is an explicit boundary (its job is the
+        impurity) — the walk never enters it;
+      * when `prune_pass` is given (the hot pass passes "hot"), an edge is
+        skipped if *every* call site of that callee in the caller sits on a
+        line suppressed for that pass: one reasoned
+        `dido-analyze: allow(hot)` comment at the call site justifies the
+        entire subtree behind the call, instead of demanding a comment at
+        every primitive the subtree happens to contain.
+    """
+    paths = {}
+    queue = []
+    for root in roots:
+        if root not in paths:
+            paths[root] = (root.qual,)
+            queue.append(root)
+    while queue:
+        fn = queue.pop(0)
+        for callee_name in sorted(fn.callees):
+            if not callee_name[0].isupper():
+                continue
+            if prune_pass is not None:
+                sites = fn.call_lines.get(callee_name, ())
+                if sites and all(fn.sf.allowed(prune_pass, line)
+                                 for line in sites):
+                    continue
+            for callee in model.by_name.get(callee_name, ()):
+                if callee in paths:
+                    continue
+                if "DIDO_COLD" in model.markers_of(callee):
+                    continue
+                paths[callee] = paths[fn] + (callee.qual,)
+                queue.append(callee)
+    return paths

@@ -1,0 +1,141 @@
+"""Response-completeness pass: error exits must account for the request.
+
+Functions annotated DIDO_MUST_RESPOND are on the request path where the
+chaos suite asserts `ingested - shed == responses` dynamically.  This pass
+makes the static half of that contract explicit: every `continue`, `break`,
+or `return` that executes under an *error condition* must first produce a
+response (set a record's response status, push/encode a response frame) or
+increment a shed/error counter inside the guarded block.
+
+What counts as an error condition (the guard of the innermost enclosing
+`if`): `!...ok()`, a failure StatusCode constant (kTimeout, kError,
+kOutOfMemory, kResourceBusy, kCapacityFull, kNotFound), or spellings of
+fail/malformed.  Deliberately *not* error conditions: `kClosed` and
+`== nullptr` — queue shutdown and empty-pop are lifecycle exits, not lost
+requests.  `return`s that propagate a Status are always compliant (the
+caller owns the response).  Loop conditions (`for`/`while`) are not guards.
+
+Suppress with `dido-analyze: allow(resp): <reason>`.
+"""
+
+import re
+
+from . import callgraph, source
+
+ERROR_COND_RE = re.compile(
+    r"!\s*[\w.>\-]*\bok\s*\(\)"
+    r"|\bk(?:Timeout|Error|OutOfMemory|ResourceBusy|CapacityFull"
+    r"|NotFound|Malformed)\b"
+    r"|[Ff]ail|[Mm]alformed")
+
+RESPONSE_EVENT_RE = re.compile(
+    r"\.status\s*=|\bResponseStatus\b|\bEncodeResponse\s*\("
+    r"|\bBump\s*\(|\.push_back\s*\(|\bAppendRecord\s*\("
+    r"|\b\w*(?:shed|error|failed|malformed|dropped|retr)\w*\s*"
+    r"(?:\+=|\+\+|\.fetch_add)"
+    r"|\bNote\w*(?:Failure|Shed|Error)\w*\s*\(")
+
+# Matched against a `;`-less statement piece (the splitter strips it).
+_EXIT_RE = re.compile(r"^(?:continue|break)\s*$|^return\b")
+_STATUS_RETURN_RE = re.compile(r"^return\b[^;]*\b[Ss]tatus\b")
+
+
+def _if_condition(stmt):
+    """Condition text when stmt is an `if (...)`/`else if (...)` head."""
+    m = re.match(r"(?:\}?\s*else\s+)?if\s*\((.*)\)\s*$", stmt)
+    if m:
+        return m.group(1)
+    # One-liner: `if (cond) <exit>;` — condition plus inline body.
+    m = re.match(r"(?:\}?\s*else\s+)?if\s*\((.*?)\)\s*(\S.*)$", stmt)
+    return m.group(1) if m else None
+
+
+def run(files, model=None):
+    if model is None:
+        model = callgraph.build_text_model(files)
+    findings = []
+    for fn in model.annotated("DIDO_MUST_RESPOND"):
+        findings.extend(_check(fn))
+    return findings
+
+
+def _check(fn):
+    findings = []
+    # Reconstruct rough block structure from the body's brace characters:
+    # a stack of (condition_text_or_None, had_response_event).
+    stack = []
+    pending_if = None  # condition of an `if (...)` head awaiting its `{`
+    for line_no, text in fn.body:
+        for piece in re.split(r"([{};])", text):
+            stripped = piece.strip()
+            if piece == "{":
+                stack.append([pending_if, False])
+                pending_if = None
+                continue
+            if piece == "}":
+                if stack:
+                    stack.pop()
+                continue
+            if not stripped and piece != ";":
+                continue
+            if piece == ";":
+                continue
+            stmt = stripped
+            head = re.match(r"(?:\}?\s*else\s+)?if\s*\((.*)\)\s*$", stmt)
+            if head is not None:
+                # `if (...)` head: its condition guards the next `{` block
+                # or (brace-less) the single next statement.
+                pending_if = head.group(1)
+                continue
+            inline = re.match(
+                r"(?:\}?\s*else\s+)?if\s*\((.*?)\)\s*"
+                r"((?:continue|break|return)\b.*)$", stmt)
+            if inline is not None:
+                cond, exit_stmt = inline.group(1), inline.group(2)
+                if (ERROR_COND_RE.search(cond)
+                        and not _compliant_exit(exit_stmt, stmt)):
+                    findings.extend(_report(fn, line_no, exit_stmt, cond))
+                pending_if = None
+                continue
+            if RESPONSE_EVENT_RE.search(stmt):
+                for frame in stack:
+                    frame[1] = True
+                pending_if = None
+                continue
+            if _EXIT_RE.match(stmt):
+                if pending_if is not None:
+                    # Brace-less `if (cond)` directly above this exit.
+                    guard, responded = pending_if, False
+                else:
+                    guard, responded = None, False
+                    for cond_text, had_event in reversed(stack):
+                        if had_event:
+                            responded = True
+                        if cond_text is not None:
+                            guard = cond_text
+                            break
+                pending_if = None
+                if guard is None or not ERROR_COND_RE.search(guard):
+                    continue
+                if responded or _compliant_exit(stmt, stmt):
+                    continue
+                findings.extend(_report(fn, line_no, stmt, guard))
+                continue
+            pending_if = None
+    return findings
+
+
+def _compliant_exit(exit_stmt, full_stmt):
+    return (_STATUS_RETURN_RE.match(exit_stmt) is not None
+            or RESPONSE_EVENT_RE.search(full_stmt) is not None)
+
+
+def _report(fn, line_no, exit_stmt, guard):
+    if fn.sf.allowed("resp", line_no):
+        return []
+    kind = exit_stmt.split(None, 1)[0].rstrip(";")
+    return [source.Finding(
+        fn.sf.rel, line_no, "resp",
+        f"'{kind}' under error condition '({guard.strip()})' in "
+        f"'{fn.qual}' leaves without a response frame, record status, or "
+        "shed/error counter — breaks ingested-shed == responses")]

@@ -3,7 +3,7 @@
 import re
 from pathlib import Path
 
-PASS_NAMES = ("epoch", "fault", "lock")
+PASS_NAMES = ("epoch", "fault", "lock", "hot", "own", "resp", "memorder")
 
 ALLOW_RE = re.compile(r"//\s*dido-analyze:\s*allow\((\w+)\)\s*:")
 BEGIN_ALLOW_RE = re.compile(r"//\s*dido-analyze:\s*begin-allow\((\w+)\)\s*:")
@@ -39,9 +39,15 @@ class SourceFile:
         for i, line in enumerate(self.lines, start=1):
             m = ALLOW_RE.search(line)
             if m and m.group(1) in self._allowed:
-                # Covers the annotated line and the following line, so the
-                # comment may sit on its own line above the declaration.
-                self._allowed[m.group(1)].update((i, i + 1))
+                # Covers the annotated line, the rest of its comment block
+                # (a reason often wraps over several // lines), and the
+                # first code line after it — so the comment may sit on its
+                # own line(s) above the code it justifies.
+                end = i + 1
+                while end <= len(self.lines) and \
+                        self.lines[end - 1].lstrip().startswith("//"):
+                    end += 1
+                self._allowed[m.group(1)].update(range(i, end + 1))
             m = BEGIN_ALLOW_RE.search(line)
             if m and m.group(1) in self._allowed:
                 open_regions[m.group(1)] = i

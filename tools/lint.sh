@@ -4,7 +4,8 @@
 #   tools/lint.sh [--fix]
 #
 # Runs, in order:
-#   1. the custom memory-order lint (tools/check_memory_order.py),
+#   1. the dido invariant analyzer (all seven contract passes, including
+#      the memory-order lint that used to be tools/check_memory_order.py),
 #   2. clang-format in check mode (or in-place with --fix),
 #   3. clang-tidy over src/ (needs a compile_commands.json; the script
 #      configures build/ with CMAKE_EXPORT_COMPILE_COMMANDS if absent).
@@ -33,18 +34,12 @@ if [[ ${#SOURCES[@]} -eq 0 ]]; then
   mapfile -t SOURCES < <(find src tests -name '*.cc' -o -name '*.h')
 fi
 
-# ------------------------------------------------------- memory-order lint --
-note "custom lint: memory_order_relaxed justification (hot paths)"
-if command -v python3 >/dev/null 2>&1; then
-  python3 tools/check_memory_order.py "$REPO_ROOT" || STATUS=1
-else
-  note "SKIP: python3 not found"
-fi
-
 # ------------------------------------------------- dido invariant analyzer --
 # Full static-analysis sweep (thread-safety build + cppcheck included) is
-# tools/analyze.sh; lint runs just the fast pure-Python invariant passes.
-note "dido_analyze: epoch-pin / fault-point / lock-annotation passes"
+# tools/analyze.sh; lint runs the fast pure-Python contract passes (all
+# seven, memorder included) with the text backend — deterministic and
+# toolchain-free.
+note "dido_analyze: all contract passes (text backend)"
 if command -v python3 >/dev/null 2>&1; then
   python3 -m tools.dido_analyze "$REPO_ROOT" || STATUS=1
 else
