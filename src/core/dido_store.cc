@@ -41,6 +41,57 @@ DidoStore::DidoStore(const DidoOptions& options, const ApuSpec& spec)
       config_(options.initial_config) {
   config_.work_stealing = options_.work_stealing;
   DIDO_CHECK(config_.Valid());
+  if (options_.durability.enabled) OpenDurability();
+}
+
+void DidoStore::OpenDurability() {
+  durability_ = std::make_unique<durability::DurabilityManager>(
+      options_.durability, spec_);
+  // Replay applier: rebuild through the runtime's direct mutators.  The
+  // manager is attached only after Open returns, so the replayed operations
+  // are not re-appended to the very log being recovered.
+  durability::RecoveryApplier applier;
+  applier.apply_set = [this](std::string_view key, std::string_view value,
+                             uint32_t /*version*/) {
+    return runtime_->Put(key, value);
+  };
+  applier.apply_delete = [this](std::string_view key) {
+    const Status status = runtime_->DeleteKey(key);
+    // A replayed DELETE may target a key the fuzzy snapshot never held
+    // (the paired SET landed after the checkpoint cut saw the bucket);
+    // absence is the operation's goal, not a replay failure.
+    if (status.code() == StatusCode::kNotFound) return Status::Ok();
+    return status;
+  };
+  durability_status_ = durability_->Open(applier, nullptr);
+  if (!durability_status_.ok()) {
+    DIDO_LOG(Error) << "durability recovery failed: "
+                    << durability_status_.ToString();
+    durability_.reset();
+    return;
+  }
+  runtime_->set_durability(durability_.get());
+}
+
+Status DidoStore::Checkpoint(double gpu_busy_fraction) {
+  if (durability_ == nullptr) {
+    return Status::Unavailable("durability tier not enabled");
+  }
+  return durability_->Checkpoint(
+      [this](const durability::DurabilityManager::SnapshotSink& sink) {
+        // The pin spans the whole walk: every pointer ForEach yields is
+        // retire-able, and the sink reads its key/value bytes.
+        EpochGuard guard(runtime_->epoch());
+        Status status = Status::Ok();
+        runtime_->index().ForEach([&](const KvObject* object) {
+          if (!status.ok()) return;
+          const Status append =
+              sink(object->Key(), object->Value(), object->version);
+          if (!append.ok()) status = append;
+        });
+        return status;
+      },
+      gpu_busy_fraction);
 }
 
 Status DidoStore::Put(std::string_view key, std::string_view value) {
@@ -64,6 +115,10 @@ void DidoStore::AttachObservability(obs::MetricsRegistry* metrics,
                                     obs::TraceCollector* trace) {
   runtime_->RegisterMetrics(metrics);
   executor_->AttachObservability(metrics, trace);
+  if (durability_ != nullptr) {
+    durability_->RegisterMetrics(metrics);
+    durability_->set_trace(trace);
+  }
   if (metrics == nullptr) {
     drift_.reset();
     replans_counter_ = nullptr;

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "costmodel/config_search.h"
+#include "durability/durability.h"
 #include "costmodel/cost_model.h"
 #include "costmodel/profiler.h"
 #include "obs/drift.h"
@@ -41,6 +42,13 @@ struct DidoOptions {
   bool adaptive = true;
   bool work_stealing = true;
   PipelineConfig initial_config = PipelineConfig::DidoDefault();
+
+  // Opt-in durability tier (DESIGN.md §11): when enabled, construction
+  // recovers the image in durability.dir (checkpoint + log replay), every
+  // applied SET/DELETE appends to the oplog, and write-through mode holds
+  // acks until their LSN is durable.  Defaults OFF — the volatile store is
+  // byte-for-byte unaffected.
+  durability::DurabilityOptions durability;
 };
 
 // DIDO: an in-memory key-value store with dynamic pipeline execution on a
@@ -91,6 +99,20 @@ class DidoStore {
   const PipelineConfig& current_config() const { return config_; }
   uint64_t replan_count() const { return replan_count_; }
 
+  // --- durability (only meaningful when options.durability.enabled) ---
+
+  // Recovery outcome of the construction-time Open; Ok when durability is
+  // disabled.  A store whose recovery failed must not serve traffic.
+  const Status& durability_status() const { return durability_status_; }
+  // Null when durability is disabled.
+  durability::DurabilityManager* durability() { return durability_.get(); }
+
+  // Takes an epoch-pinned fuzzy snapshot of the whole store into a new
+  // checkpoint file, rotating the log at the boundary and truncating
+  // segments the retention policy no longer needs.  `gpu_busy_fraction`
+  // feeds the checksum-placement plan (0 = GPU idle).
+  Status Checkpoint(double gpu_busy_fraction = 0.0);
+
   KvRuntime& runtime() { return *runtime_; }
   PipelineExecutor& executor() { return *executor_; }
   WorkloadProfiler& profiler() { return profiler_; }
@@ -108,10 +130,15 @@ class DidoStore {
 
  private:
   void MaybeAdapt();
+  // Recovers durability.dir into the freshly built runtime, then attaches
+  // the manager (attach strictly after replay, so replay is not re-logged).
+  void OpenDurability();
 
   DidoOptions options_;
   ApuSpec spec_;
   std::unique_ptr<KvRuntime> runtime_;
+  std::unique_ptr<durability::DurabilityManager> durability_;
+  Status durability_status_ = Status::Ok();
   std::unique_ptr<PipelineExecutor> executor_;
   CostModel cost_model_;
   WorkloadProfiler profiler_;

@@ -1,0 +1,316 @@
+#include "durability/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32c.h"
+#include "faults/fault_registry.h"
+
+namespace dido {
+namespace durability {
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x504B4344;  // "DCKP"
+constexpr uint32_t kFooterMagic = 0x464B4344;      // "DCKF"
+constexpr uint32_t kCheckpointVersion = 1;
+
+void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+bool WriteFully(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+constexpr size_t kFlushThreshold = 1u << 20;  // buffered bytes per write()
+
+}  // namespace
+
+std::string CheckpointFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%08llu.ckpt",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::vector<CheckpointInfo> ListCheckpoints(const std::string& dir) {
+  std::vector<CheckpointInfo> checkpoints;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::filesystem::path& path = entry.path();
+    if (path.extension() != ".ckpt") continue;
+    unsigned long long seq = 0;
+    if (std::sscanf(path.filename().string().c_str(), "%llu.ckpt", &seq) !=
+        1) {
+      continue;
+    }
+    checkpoints.push_back(
+        CheckpointInfo{static_cast<uint64_t>(seq), path.string()});
+  }
+  std::sort(checkpoints.begin(), checkpoints.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.seq < b.seq;
+            });
+  return checkpoints;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& dir, uint64_t seq,
+                                   uint64_t lsn)
+    : dir_(dir), seq_(seq), lsn_(lsn) {}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!finished_ && !tmp_path_.empty()) {
+    // Abandoned checkpoint: remove the temp file (best effort; a crashed
+    // process leaves it behind and recovery ignores ".ckpt.tmp").
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+  }
+}
+
+Status CheckpointWriter::Open() {
+  tmp_path_ = (std::filesystem::path(dir_) /
+               (CheckpointFileName(seq_) + ".tmp"))
+                  .string();
+  fd_ = ::open(tmp_path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    return Status::Unavailable("cannot create checkpoint: " + tmp_path_);
+  }
+  std::string header;
+  PutU32(kCheckpointMagic, &header);
+  PutU32(kCheckpointVersion, &header);
+  PutU64(lsn_, &header);
+  PutU64(0, &header);  // reserved
+  uint32_t crc = Crc32c(header.data(), header.size());
+  FaultHit hit;
+  if (DIDO_FAULT_POINT_HIT("ckpt.corrupt_header", &hit)) {
+    // The header reaches disk damaged (flipped CRC bit) — recovery must
+    // reject this checkpoint and fall back to the previous generation.
+    crc ^= 1u << (hit.rand % 32);
+  }
+  PutU32(crc, &header);
+  PutU32(0, &header);  // pad to kCheckpointHeaderBytes
+  if (!WriteFully(fd_, header.data(), header.size())) {
+    return Status::Unavailable("cannot write checkpoint header");
+  }
+  return Status::Ok();
+}
+
+Status CheckpointWriter::AppendEntry(std::string_view key,
+                                     std::string_view value,
+                                     uint32_t version) {
+  if (killed_) return Status::Unavailable("checkpoint writer killed");
+  FaultHit hit;
+  if (DIDO_FAULT_POINT_HIT("ckpt.kill_mid_checkpoint", &hit)) {
+    // Simulated death mid-snapshot: whatever was buffered is lost, the
+    // partial temp file stays on disk, Finish() refuses to run.
+    killed_ = true;
+    return Status::Unavailable("checkpoint writer killed mid-snapshot");
+  }
+  const size_t start = buffer_.size();
+  PutU16(static_cast<uint16_t>(key.size()), &buffer_);
+  PutU16(0, &buffer_);  // reserved
+  PutU32(static_cast<uint32_t>(value.size()), &buffer_);
+  PutU32(version, &buffer_);
+  const uint32_t crc = Crc32cExtend(Crc32c(key), value);
+  PutU32(crc, &buffer_);
+  buffer_.append(key);
+  buffer_.append(value);
+  const size_t entry_bytes = buffer_.size() - start;
+  data_crc_ = Crc32cExtend(data_crc_, buffer_.data() + start, entry_bytes);
+  entries_ += 1;
+  body_bytes_ += entry_bytes;
+  if (buffer_.size() >= kFlushThreshold) {
+    if (!WriteFully(fd_, buffer_.data(), buffer_.size())) {
+      return Status::Unavailable("cannot write checkpoint entries");
+    }
+    buffer_.clear();
+  }
+  return Status::Ok();
+}
+
+Status CheckpointWriter::Finish() {
+  if (killed_) return Status::Unavailable("checkpoint writer killed");
+  if (!buffer_.empty()) {
+    if (!WriteFully(fd_, buffer_.data(), buffer_.size())) {
+      return Status::Unavailable("cannot write checkpoint entries");
+    }
+    buffer_.clear();
+  }
+  std::string footer;
+  PutU32(kFooterMagic, &footer);
+  PutU64(entries_, &footer);
+  PutU32(data_crc_, &footer);
+  if (!WriteFully(fd_, footer.data(), footer.size())) {
+    return Status::Unavailable("cannot write checkpoint footer");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Unavailable("cannot sync checkpoint");
+  }
+  ::close(fd_);
+  fd_ = -1;
+  const std::string final_path =
+      (std::filesystem::path(dir_) / CheckpointFileName(seq_)).string();
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, final_path, ec);
+  if (ec) {
+    return Status::Unavailable("cannot publish checkpoint: " + ec.message());
+  }
+  finished_ = true;
+  return Status::Ok();
+}
+
+Status ReadCheckpoint(
+    const std::string& path,
+    const std::function<void(std::string_view key, std::string_view value,
+                             uint32_t version)>& fn,
+    CheckpointReadStats* stats) {
+  *stats = CheckpointReadStats{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Unavailable("cannot open checkpoint: " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(contents.data());
+  const size_t size = contents.size();
+  if (size < kCheckpointHeaderBytes + kCheckpointFooterBytes) {
+    return Status::InvalidArgument("checkpoint too small");
+  }
+  if (GetU32(data) != kCheckpointMagic) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  if (GetU32(data + 4) != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  const uint64_t lsn = GetU64(data + 8);
+  const uint32_t header_crc = GetU32(data + 24);
+  if (Crc32c(data, 24) != header_crc) {
+    return Status::InvalidArgument("checkpoint header crc mismatch");
+  }
+
+  // Validation pass: walk every entry, checking structure and CRCs, and
+  // verify the footer — only then is anything applied.
+  const uint8_t* footer = data + size - kCheckpointFooterBytes;
+  if (GetU32(footer) != kFooterMagic) {
+    return Status::InvalidArgument("bad checkpoint footer magic");
+  }
+  const uint64_t footer_entries = GetU64(footer + 4);
+  const uint32_t footer_crc = GetU32(footer + 12);
+
+  const size_t body_end = size - kCheckpointFooterBytes;
+  size_t offset = kCheckpointHeaderBytes;
+  uint64_t entries = 0;
+  uint32_t data_crc = 0;
+  while (offset < body_end) {
+    if (offset + kCheckpointEntryHeaderBytes > body_end) {
+      return Status::InvalidArgument("short checkpoint entry header");
+    }
+    const uint8_t* p = data + offset;
+    const uint16_t key_len = GetU16(p);
+    const uint32_t value_len = GetU32(p + 4);
+    const uint32_t entry_crc = GetU32(p + 12);
+    const size_t body = static_cast<size_t>(key_len) + value_len;
+    if (offset + kCheckpointEntryHeaderBytes + body > body_end) {
+      return Status::InvalidArgument("short checkpoint entry body");
+    }
+    const uint32_t actual =
+        Crc32c(p + kCheckpointEntryHeaderBytes, body);
+    if (actual != entry_crc) {
+      return Status::InvalidArgument("checkpoint entry crc mismatch");
+    }
+    const size_t entry_bytes = kCheckpointEntryHeaderBytes + body;
+    data_crc = Crc32cExtend(data_crc, p, entry_bytes);
+    offset += entry_bytes;
+    entries += 1;
+  }
+  if (entries != footer_entries || data_crc != footer_crc) {
+    return Status::InvalidArgument("checkpoint footer mismatch");
+  }
+
+  // Apply pass: structure is proven, hand every entry to the caller.
+  offset = kCheckpointHeaderBytes;
+  while (offset < body_end) {
+    const uint8_t* p = data + offset;
+    const uint16_t key_len = GetU16(p);
+    const uint32_t value_len = GetU32(p + 4);
+    const uint32_t version = GetU32(p + 8);
+    const char* body =
+        reinterpret_cast<const char*>(p + kCheckpointEntryHeaderBytes);
+    fn(std::string_view(body, key_len),
+       std::string_view(body + key_len, value_len), version);
+    offset += kCheckpointEntryHeaderBytes + key_len + value_len;
+  }
+  stats->entries = entries;
+  stats->bytes = size;
+  stats->lsn = lsn;
+  return Status::Ok();
+}
+
+ChecksumPlacement PlanChecksumPlacement(const ApuSpec& spec, uint64_t bytes,
+                                        double gpu_busy_fraction) {
+  ChecksumPlacement placement;
+  const double gb = static_cast<double>(bytes) / 1e9;
+  // CPU: one core streams the snapshot at the CPU's sustained bandwidth
+  // (the rest of the cores keep serving queries).
+  const double cpu_bw =
+      spec.cpu.stream_bandwidth_gbps / std::max(1, spec.cpu.cores);
+  placement.cpu_us = gb / std::max(cpu_bw, 1e-9) * 1e6;
+  // GPU: full streaming bandwidth scaled down by how busy the pipeline
+  // keeps the device, plus the kernel launch cost.  An idle GPU eats bulk
+  // checksum work at memory speed (the LUDA observation); a saturated one
+  // should not be handed more.
+  const double idle = std::max(0.05, 1.0 - gpu_busy_fraction);
+  const double gpu_bw = spec.gpu.stream_bandwidth_gbps * idle;
+  placement.gpu_us =
+      spec.gpu.launch_overhead_us + gb / std::max(gpu_bw, 1e-9) * 1e6;
+  placement.device =
+      placement.gpu_us < placement.cpu_us ? Device::kGpu : Device::kCpu;
+  return placement;
+}
+
+}  // namespace durability
+}  // namespace dido

@@ -1,0 +1,127 @@
+#ifndef DIDO_DURABILITY_CHECKPOINT_H_
+#define DIDO_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/device_spec.h"
+
+namespace dido {
+namespace durability {
+
+// Checkpoint sidecar files (DESIGN.md §11).
+//
+// A checkpoint is an epoch-pinned fuzzy snapshot of the live cuckoo table
+// + slab values, written to "<seq>.ckpt" where `seq` is the log segment
+// the snapshot covers: every operation with lsn <= header.lsn lives in
+// segments <= seq, so after a checkpoint is durable the retention policy
+// may delete the segments (and older checkpoints) it supersedes.
+//
+// Layout:
+//   header (32 B): magic 'DCKP' | version | lsn | reserved | crc | pad
+//   entry  (16 B + body): key_len | rsvd | value_len | version | crc | body
+//   footer (16 B): magic 'DCKF' | entry_count | data_crc
+//
+// The header CRC detects a corrupted header ("ckpt.corrupt_header"); the
+// footer count + running data CRC detect a checkpoint cut short by a crash
+// ("ckpt.kill_mid_checkpoint" leaves a ".ckpt.tmp" that never renames).
+// Readers validate the whole file before applying any entry.
+
+inline constexpr size_t kCheckpointHeaderBytes = 32;
+inline constexpr size_t kCheckpointEntryHeaderBytes = 16;
+inline constexpr size_t kCheckpointFooterBytes = 16;
+
+std::string CheckpointFileName(uint64_t seq);
+struct CheckpointInfo {
+  uint64_t seq = 0;
+  std::string path;
+};
+// All "*.ckpt" files in `dir`, sorted by sequence number ascending.
+std::vector<CheckpointInfo> ListCheckpoints(const std::string& dir);
+
+// Streams a snapshot into a checkpoint file.  Usage:
+//   CheckpointWriter writer(dir, seq, lsn);
+//   writer.Open();                 // creates <seq>.ckpt.tmp
+//   writer.AppendEntry(k, v, ver)  // once per live object
+//   writer.Finish();               // footer, fsync, rename to <seq>.ckpt
+// Abandoning the writer (destructor without Finish) leaves no visible
+// checkpoint — the temp file is unlinked, or ignored by recovery if the
+// process dies first.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(const std::string& dir, uint64_t seq, uint64_t lsn);
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  // Creates the temp file and writes the header.  Fault point
+  // "ckpt.corrupt_header": the header CRC is written damaged, which
+  // recovery must detect and fall back from.
+  Status Open();
+
+  // Appends one live object.  Fault point "ckpt.kill_mid_checkpoint":
+  // the writer dies here — the temp file stays partial and Finish fails.
+  Status AppendEntry(std::string_view key, std::string_view value,
+                     uint32_t version);
+
+  // Writes the footer, fsyncs, and renames the temp file into place.
+  Status Finish();
+
+  uint64_t entries() const { return entries_; }
+  uint64_t body_bytes() const { return body_bytes_; }
+
+ private:
+  const std::string dir_;
+  const uint64_t seq_;
+  const uint64_t lsn_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  bool killed_ = false;
+  bool finished_ = false;
+  uint64_t entries_ = 0;
+  uint64_t body_bytes_ = 0;
+  uint32_t data_crc_ = 0;
+  std::string buffer_;  // buffered entry bytes, flushed in large writes
+};
+
+// Outcome of reading one checkpoint file.
+struct CheckpointReadStats {
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  uint64_t lsn = 0;
+};
+
+// Validates `path` end to end (header CRC, per-entry CRCs, footer count +
+// data CRC), then — only if fully valid — invokes `fn` per entry.  Returns
+// InvalidArgument on any corruption, so a caller can fall back to an older
+// checkpoint without having applied anything.
+Status ReadCheckpoint(
+    const std::string& path,
+    const std::function<void(std::string_view key, std::string_view value,
+                             uint32_t version)>& fn,
+    CheckpointReadStats* stats);
+
+// LUDA-style placement of the checkpoint's bulk checksum/merge byte-work:
+// the planner compares the modelled cost of streaming `bytes` through each
+// device of the APU — CPU at its streaming bandwidth, GPU at its bandwidth
+// degraded by current pipeline occupancy plus a kernel-launch cost — and
+// places the work on the cheaper one.  The decision goes through the
+// measured DeviceSpec numbers (FlexKV's lesson), not a hard-coded device,
+// and is surfaced in metrics/trace so experiments can see where the
+// byte-work landed.
+struct ChecksumPlacement {
+  Device device = Device::kCpu;
+  double cpu_us = 0;
+  double gpu_us = 0;
+};
+ChecksumPlacement PlanChecksumPlacement(const ApuSpec& spec, uint64_t bytes,
+                                        double gpu_busy_fraction);
+
+}  // namespace durability
+}  // namespace dido
+
+#endif  // DIDO_DURABILITY_CHECKPOINT_H_

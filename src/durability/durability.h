@@ -1,0 +1,169 @@
+#ifndef DIDO_DURABILITY_DURABILITY_H_
+#define DIDO_DURABILITY_DURABILITY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "durability/checkpoint.h"
+#include "durability/oplog.h"
+#include "durability/recovery.h"
+#include "sim/device_spec.h"
+
+namespace dido {
+
+namespace obs {
+class MetricsRegistry;
+class TraceCollector;
+class AtomicHistogram;
+}  // namespace obs
+
+namespace durability {
+
+// When acks are released relative to the covering log sync.
+enum class DurabilityMode : uint8_t {
+  // SET/DELETE responses are held until their LSN is durable (group
+  // commit releases them in batches).
+  kWriteThrough = 0,
+  // Responses release immediately; the log trails behind (bench mode —
+  // quantifies what write-through costs).
+  kWriteBehind = 1,
+};
+
+std::string_view DurabilityModeName(DurabilityMode mode);
+
+struct DurabilityOptions {
+  // Master switch: the durability tier is strictly opt-in, and everything
+  // below is ignored while this is false (the store stays volatile).
+  bool enabled = false;
+  std::string dir;  // log + checkpoint directory (created if missing)
+  DurabilityMode mode = DurabilityMode::kWriteThrough;
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryBatch;
+  uint64_t fsync_every_n = 32;
+  size_t ring_capacity = 4096;
+  // Write-through ack wait bound: on expiry the response is released
+  // anyway and the degradation is counted (durable_timeouts) — the store
+  // sheds its durability guarantee rather than wedging the pipeline.
+  std::chrono::milliseconds durable_wait_timeout{1000};
+  // Auto-checkpoint when this many log bytes accumulate (0 = manual).
+  uint64_t checkpoint_every_bytes = 0;
+};
+
+// Aggregate durability statistics (snapshot).
+struct DurabilityStats {
+  OpLogStats log;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_failures = 0;
+  uint64_t checkpoint_cpu_placements = 0;
+  uint64_t checkpoint_gpu_placements = 0;
+  uint64_t last_checkpoint_entries = 0;
+  uint64_t last_checkpoint_bytes = 0;
+  uint64_t last_checkpoint_lsn = 0;
+  uint64_t segments_truncated = 0;  // log files deleted by retention
+  uint64_t durable_timeouts = 0;    // write-through waits that expired
+  RecoveryStats recovery;           // from the Open() that built this store
+};
+
+// The durability subsystem facade: owns the group-commit log writer,
+// drives checkpoints (with LUDA-style placement of the bulk checksum
+// work), and runs recovery at open.  KvRuntime appends on every applied
+// SET/DELETE; LivePipeline/DidoStore hold acks on WaitDurable.
+//
+// Thread safety: Append*/WaitDurable are safe from any thread.
+// Checkpoint() is serialized internally; Open/Close/SimulateCrash are the
+// owner's (single-threaded) lifecycle calls.
+class DurabilityManager {
+ public:
+  // Snapshot source: calls the sink once per live object, under whatever
+  // epoch pin the store's iteration contract requires, and returns the
+  // first non-OK sink status.
+  using SnapshotSink =
+      std::function<Status(std::string_view key, std::string_view value,
+                           uint32_t version)>;
+  using SnapshotSource = std::function<Status(const SnapshotSink&)>;
+
+  DurabilityManager(const DurabilityOptions& options, const ApuSpec& spec);
+  ~DurabilityManager();
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  // Creates the directory if needed, recovers the existing image through
+  // `applier`, then opens the log writer at the recovered position.
+  // `stats_out` (optional) receives the recovery outcome.
+  Status Open(const RecoveryApplier& applier, RecoveryStats* stats_out);
+
+  // Appends one applied operation; returns its LSN (0 when the log is
+  // wedged/closed — counted, the store degrades).  DIDO_COLD: opt-in
+  // control-plane hand-off; all I/O is behind the writer thread.
+  uint64_t AppendSet(std::string_view key, std::string_view value) DIDO_COLD;
+  uint64_t AppendDelete(std::string_view key) DIDO_COLD;
+
+  // Write-through: waits (bounded by durable_wait_timeout) for `lsn`;
+  // expiry counts a durable_timeout and returns false.  Write-behind or
+  // lsn == 0: returns immediately.  DIDO_COLD: the ack-release boundary
+  // of the durability protocol, not pipeline compute.
+  bool WaitDurable(uint64_t lsn) DIDO_COLD;
+
+  // Snapshots the store through `source` into a new checkpoint, rotating
+  // the log at the snapshot boundary and applying retention (keep the two
+  // newest checkpoints; delete segments the older one covers).
+  // `gpu_busy_fraction` feeds the checksum placement plan.
+  Status Checkpoint(const SnapshotSource& source,
+                    double gpu_busy_fraction = 0.0);
+
+  // True when checkpoint_every_bytes is configured and that many log
+  // bytes accumulated since the last checkpoint.
+  bool CheckpointDue() const;
+
+  // Drains and syncs the log (clean flush, not shutdown).
+  void Flush();
+
+  // Simulated power loss for crash tests: the writer stops instantly and
+  // the log keeps only fsync-covered bytes.  The manager is dead after.
+  void SimulateCrash();
+  void Close();
+
+  DurabilityStats stats() const;
+  DurabilityMode mode() const { return options_.mode; }
+  const DurabilityOptions& options() const { return options_; }
+  uint64_t last_lsn() const;
+
+  // Publishes dido_dur_* series (collector-backed) plus the sync-latency
+  // histogram into `registry`; nullptr detaches.  `trace` (optional)
+  // receives checkpoint/recovery spans.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+  void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
+
+ private:
+  void AddTraceSpan(const char* name, uint64_t start_us, uint64_t end_us,
+                    const std::string& args);
+
+  const DurabilityOptions options_;
+  const ApuSpec spec_;
+  // dido-analyze: allow(lock): set once in Open (single-threaded setup),
+  // then read-only; the pointee is internally synchronized
+  std::unique_ptr<OpLogWriter> log_;
+
+  mutable Mutex mu_;  // manager bookkeeping (checkpoints serialize on it)
+  uint64_t current_segment_seq_ DIDO_GUARDED_BY(mu_) = 1;
+  uint64_t log_bytes_at_last_ckpt_ DIDO_GUARDED_BY(mu_) = 0;
+  DurabilityStats stats_ DIDO_GUARDED_BY(mu_);
+
+  // Observability attachments: set during single-threaded setup, read by
+  // collector lambdas / the writer thread afterwards.
+  // dido-analyze: allow(lock): set once at attach, then read-only
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  // dido-analyze: allow(lock): set once at attach, then read-only
+  obs::TraceCollector* trace_ = nullptr;
+};
+
+}  // namespace durability
+}  // namespace dido
+
+#endif  // DIDO_DURABILITY_DURABILITY_H_

@@ -1,0 +1,617 @@
+#include "durability/oplog.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "faults/fault_registry.h"
+#include "obs/metrics.h"
+
+namespace dido {
+namespace durability {
+namespace {
+
+constexpr uint32_t kSegmentMagic = 0x47455344;  // "DSEG"
+constexpr uint32_t kRecordMagic = 0x43455244;   // "DREC"
+constexpr uint32_t kSegmentVersion = 1;
+
+void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+// write() until done (or a real error), handling EINTR and partial writes.
+bool WriteFully(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kEveryN:
+      return "every_n";
+    case FsyncPolicy::kEveryBatch:
+      return "every_batch";
+  }
+  return "unknown";
+}
+
+size_t EncodedLogRecordSize(std::string_view key, std::string_view value) {
+  return kLogRecordHeaderBytes + key.size() + value.size();
+}
+
+void EncodeLogRecord(LogOp op, uint64_t lsn, std::string_view key,
+                     std::string_view value, std::string* out) {
+  const size_t start = out->size();
+  PutU32(0, out);  // crc placeholder
+  out->push_back(static_cast<char>(op));
+  out->push_back(0);  // reserved
+  PutU16(static_cast<uint16_t>(key.size()), out);
+  PutU32(static_cast<uint32_t>(value.size()), out);
+  PutU64(lsn, out);
+  PutU32(kRecordMagic, out);
+  out->append(key);
+  out->append(value);
+  // CRC over everything after the crc field.
+  const uint32_t crc =
+      Crc32c(out->data() + start + 4, out->size() - start - 4);
+  (*out)[start + 0] = static_cast<char>(crc & 0xFF);
+  (*out)[start + 1] = static_cast<char>((crc >> 8) & 0xFF);
+  (*out)[start + 2] = static_cast<char>((crc >> 16) & 0xFF);
+  (*out)[start + 3] = static_cast<char>((crc >> 24) & 0xFF);
+}
+
+Status DecodeLogRecord(const uint8_t* data, size_t size, size_t* offset,
+                       LogRecordView* out) {
+  if (*offset + kLogRecordHeaderBytes > size) {
+    return Status::InvalidArgument("short log record header");
+  }
+  const uint8_t* p = data + *offset;
+  const uint32_t crc = GetU32(p);
+  const uint8_t op_raw = p[4];
+  const uint16_t key_len = GetU16(p + 6);
+  const uint32_t value_len = GetU32(p + 8);
+  const uint64_t lsn = GetU64(p + 12);
+  const uint32_t magic = GetU32(p + 20);
+  if (magic != kRecordMagic) {
+    return Status::InvalidArgument("bad log record magic");
+  }
+  if (op_raw != static_cast<uint8_t>(LogOp::kSet) &&
+      op_raw != static_cast<uint8_t>(LogOp::kDelete)) {
+    return Status::InvalidArgument("bad log record op");
+  }
+  const size_t body = static_cast<size_t>(key_len) + value_len;
+  if (*offset + kLogRecordHeaderBytes + body > size) {
+    return Status::InvalidArgument("short log record body");
+  }
+  const uint32_t actual =
+      Crc32c(p + 4, kLogRecordHeaderBytes - 4 + body);
+  if (actual != crc) {
+    return Status::InvalidArgument("log record crc mismatch");
+  }
+  out->op = static_cast<LogOp>(op_raw);
+  out->lsn = lsn;
+  out->key = std::string_view(
+      reinterpret_cast<const char*>(p + kLogRecordHeaderBytes), key_len);
+  out->value = std::string_view(
+      reinterpret_cast<const char*>(p + kLogRecordHeaderBytes + key_len),
+      value_len);
+  *offset += kLogRecordHeaderBytes + body;
+  return Status::Ok();
+}
+
+void EncodeSegmentHeader(uint64_t first_lsn, std::string* out) {
+  const size_t start = out->size();
+  PutU32(kSegmentMagic, out);
+  PutU32(kSegmentVersion, out);
+  PutU64(first_lsn, out);
+  PutU32(0, out);  // reserved
+  const uint32_t crc = Crc32c(out->data() + start, out->size() - start);
+  PutU32(crc, out);
+}
+
+Status DecodeSegmentHeader(const uint8_t* data, size_t size,
+                           uint64_t* first_lsn) {
+  if (size < kLogSegmentHeaderBytes) {
+    return Status::InvalidArgument("short segment header");
+  }
+  if (GetU32(data) != kSegmentMagic) {
+    return Status::InvalidArgument("bad segment magic");
+  }
+  if (GetU32(data + 4) != kSegmentVersion) {
+    return Status::InvalidArgument("unsupported segment version");
+  }
+  const uint32_t crc = GetU32(data + 20);
+  if (Crc32c(data, 20) != crc) {
+    return Status::InvalidArgument("segment header crc mismatch");
+  }
+  *first_lsn = GetU64(data + 8);
+  return Status::Ok();
+}
+
+std::string SegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%08llu.oplog",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::vector<SegmentInfo> ListLogSegments(const std::string& dir) {
+  std::vector<SegmentInfo> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::filesystem::path& path = entry.path();
+    if (path.extension() != ".oplog") continue;
+    unsigned long long seq = 0;
+    if (std::sscanf(path.filename().string().c_str(), "%llu.oplog", &seq) !=
+        1) {
+      continue;
+    }
+    segments.push_back(SegmentInfo{static_cast<uint64_t>(seq), path.string()});
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.seq < b.seq;
+            });
+  return segments;
+}
+
+Status ScanLogSegment(const std::string& path,
+                      const std::function<void(const LogRecordView&)>& fn,
+                      LogScanStats* stats) {
+  *stats = LogScanStats{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Unavailable("cannot open log segment: " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(contents.data());
+  const size_t size = contents.size();
+  if (size == 0) return Status::Ok();  // crash before the header synced
+  uint64_t first_lsn = 0;
+  DIDO_RETURN_IF_ERROR(DecodeSegmentHeader(data, size, &first_lsn));
+  size_t offset = kLogSegmentHeaderBytes;
+  uint64_t expected_lsn = first_lsn;
+  while (offset < size) {
+    LogRecordView record;
+    Status s = DecodeLogRecord(data, size, &offset, &record);
+    if (!s.ok() || record.lsn != expected_lsn) {
+      // Torn or short tail (or LSN discontinuity from tearing): stop
+      // cleanly — everything before this point is intact and applied.
+      stats->torn_records += 1;
+      stats->clean_end = false;
+      return Status::Ok();
+    }
+    fn(record);
+    stats->records += 1;
+    stats->bytes = offset;
+    stats->last_lsn = record.lsn;
+    expected_lsn = record.lsn + 1;
+  }
+  return Status::Ok();
+}
+
+OpLogWriter::OpLogWriter(const OpLogOptions& options) : options_(options) {}
+
+OpLogWriter::~OpLogWriter() { Close(); }
+
+Status OpLogWriter::OpenSegmentFile(uint64_t seq, uint64_t first_lsn) {
+  const std::string path =
+      (std::filesystem::path(options_.dir) / SegmentFileName(seq)).string();
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cannot create log segment: " + path);
+  }
+  std::string header;
+  EncodeSegmentHeader(first_lsn, &header);
+  if (!WriteFully(fd, header.data(), header.size())) {
+    ::close(fd);
+    return Status::Unavailable("cannot write segment header: " + path);
+  }
+  // The header is synced immediately so a crash right after rotation still
+  // leaves a decodable (empty) segment.
+  ::fsync(fd);
+  fd_ = fd;
+  segment_seq_ = seq;
+  file_offset_ = header.size();
+  synced_offset_ = header.size();
+  records_since_sync_ = 0;
+  return Status::Ok();
+}
+
+Status OpLogWriter::Open(uint64_t segment_seq, uint64_t first_lsn) {
+  DIDO_RETURN_IF_ERROR(OpenSegmentFile(segment_seq, first_lsn));
+  {
+    MutexLock lock(mu_);
+    next_lsn_ = first_lsn;
+    durable_lsn_ = first_lsn - 1;
+    written_lsn_ = first_lsn - 1;
+  }
+  writer_ = std::thread([this] { WriterLoop(); });
+  return Status::Ok();
+}
+
+uint64_t OpLogWriter::Append(LogOp op, std::string_view key,
+                             std::string_view value) {
+  UniqueMutexLock lock(mu_);
+  while (pending_.size() >= options_.ring_capacity && !wedged_ && !closed_ &&
+         !crashed_) {
+    stats_.ring_stalls += 1;
+    state_cv_.Wait(lock);
+  }
+  if (wedged_ || closed_ || crashed_) {
+    stats_.append_failures += 1;
+    return 0;
+  }
+  PendingEntry entry;
+  entry.lsn = next_lsn_++;
+  EncodeLogRecord(op, entry.lsn, key, value, &entry.bytes);
+  stats_.appends += 1;
+  stats_.last_lsn = entry.lsn;
+  const uint64_t lsn = entry.lsn;
+  pending_.push_back(std::move(entry));
+  ring_cv_.NotifyOne();
+  return lsn;
+}
+
+bool OpLogWriter::WaitDurable(uint64_t lsn, std::chrono::milliseconds timeout) {
+  if (lsn == 0) return false;  // never logged — nothing to wait for
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  UniqueMutexLock lock(mu_);
+  while (durable_lsn_ < lsn && !wedged_ && !crashed_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    state_cv_.WaitFor(lock, std::min<std::chrono::nanoseconds>(
+                                deadline - now, std::chrono::milliseconds(10)));
+  }
+  return durable_lsn_ >= lsn;
+}
+
+uint64_t OpLogWriter::Flush() {
+  uint64_t target = 0;
+  {
+    MutexLock lock(mu_);
+    target = next_lsn_ - 1;
+  }
+  if (target > 0) {
+    WaitDurable(target, std::chrono::milliseconds(10000));
+  }
+  MutexLock lock(mu_);
+  return durable_lsn_;
+}
+
+Status OpLogWriter::RotateSegment(uint64_t new_seq, uint64_t* boundary_lsn) {
+  UniqueMutexLock lock(mu_);
+  if (wedged_ || closed_ || crashed_) {
+    return Status::Unavailable("oplog unavailable for rotation");
+  }
+  *boundary_lsn = next_lsn_ - 1;
+  PendingEntry marker;
+  marker.rotate_seq = new_seq;
+  marker.rotate_first_lsn = next_lsn_;
+  pending_.push_back(std::move(marker));
+  ring_cv_.NotifyOne();
+  const uint64_t want = ++requested_rotations_;
+  while (applied_rotations_ < want && !wedged_ && !crashed_ && !closed_) {
+    state_cv_.Wait(lock);
+  }
+  if (applied_rotations_ < want) {
+    return Status::Unavailable("oplog wedged during rotation");
+  }
+  return Status::Ok();
+}
+
+void OpLogWriter::SimulateCrash() {
+  {
+    MutexLock lock(mu_);
+    crashed_ = true;
+    ring_cv_.NotifyAll();
+    state_cv_.NotifyAll();
+  }
+  if (writer_.joinable()) writer_.join();
+  if (fd_ >= 0) {
+    // Keep exactly the bytes a power loss would have: everything covered
+    // by the last fsync (plus the always-synced segment header).
+    const int rc = ::ftruncate(fd_, static_cast<off_t>(synced_offset_));
+    (void)rc;
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void OpLogWriter::Close() {
+  {
+    MutexLock lock(mu_);
+    closed_ = true;
+    ring_cv_.NotifyAll();
+    state_cv_.NotifyAll();
+  }
+  if (writer_.joinable()) writer_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+OpLogStats OpLogWriter::stats() const {
+  MutexLock lock(mu_);
+  OpLogStats snapshot = stats_;
+  snapshot.durable_lsn = durable_lsn_;
+  snapshot.pending_records = pending_.size();
+  snapshot.wedged = wedged_;
+  return snapshot;
+}
+
+uint64_t OpLogWriter::last_lsn() const {
+  MutexLock lock(mu_);
+  return stats_.last_lsn;
+}
+
+void OpLogWriter::set_sync_histogram(obs::AtomicHistogram* histogram) {
+  sync_histogram_ = histogram;
+}
+
+bool OpLogWriter::SyncNow() {
+  FaultHit hit;
+  if (DIDO_FAULT_POINT_HIT("oplog.fsync_fail", &hit)) {
+    MutexLock lock(mu_);
+    stats_.fsync_failures += 1;
+    return false;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const int rc = ::fsync(fd_);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (rc != 0) {
+    MutexLock lock(mu_);
+    stats_.fsync_failures += 1;
+    return false;
+  }
+  synced_offset_ = file_offset_;
+  records_since_sync_ = 0;
+  const double sync_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  if (sync_histogram_ != nullptr) sync_histogram_->Record(sync_us);
+  MutexLock lock(mu_);
+  stats_.fsyncs += 1;
+  durable_lsn_ = written_lsn_;
+  state_cv_.NotifyAll();
+  return true;
+}
+
+bool OpLogWriter::WriteGroup(std::vector<PendingEntry> group) {
+  std::string buf;
+  size_t total = 0;
+  for (const PendingEntry& e : group) total += e.bytes.size();
+  buf.reserve(total);
+  for (const PendingEntry& e : group) buf.append(e.bytes);
+
+  const PendingEntry& last = group.back();
+  uint64_t prev_intact_lsn;
+  {
+    MutexLock lock(mu_);
+    prev_intact_lsn =
+        group.size() >= 2 ? group[group.size() - 2].lsn : written_lsn_;
+  }
+
+  // Crash-shaped faults: both persist a damaged final record and wedge the
+  // log, modelling the instant before power loss.
+  FaultHit hit;
+  bool wedge = false;
+  bool torn = false;
+  size_t write_bytes = buf.size();
+  if (DIDO_FAULT_POINT_HIT("oplog.short_write", &hit)) {
+    // Persist only a prefix of the last record (cut mid-payload).
+    const size_t cut = last.bytes.size() / 2 + 1;
+    write_bytes = buf.size() - std::min(cut, last.bytes.size());
+    wedge = true;
+  } else if (DIDO_FAULT_POINT_HIT("oplog.torn_tail", &hit)) {
+    torn = true;
+    wedge = true;
+  }
+
+  if (!WriteFully(fd_, buf.data(), write_bytes)) {
+    MutexLock lock(mu_);
+    stats_.append_failures += 1;
+    return false;
+  }
+  file_offset_ += write_bytes;
+  if (torn) {
+    // Zero the tail half of the final record, as if only its leading
+    // sectors reached the platter.
+    const size_t tear = last.bytes.size() - last.bytes.size() / 2;
+    const std::string zeros(tear, '\0');
+    const ssize_t rc = ::pwrite(fd_, zeros.data(), zeros.size(),
+                                static_cast<off_t>(file_offset_ - tear));
+    (void)rc;
+  }
+
+  {
+    MutexLock lock(mu_);
+    stats_.records_written += wedge ? group.size() - 1 : group.size();
+    stats_.bytes_written += write_bytes;
+    stats_.group_writes += 1;
+    stats_.max_group_records =
+        std::max<uint64_t>(stats_.max_group_records, group.size());
+    written_lsn_ = wedge ? prev_intact_lsn : last.lsn;
+  }
+
+  if (wedge) {
+    // The damaged bytes "reached disk": force a sync so the simulated
+    // crash (SimulateCrash truncates to synced_offset_) preserves them.
+    ::fsync(fd_);
+    synced_offset_ = file_offset_;
+    MutexLock lock(mu_);
+    durable_lsn_ = written_lsn_;
+    state_cv_.NotifyAll();
+    return false;
+  }
+
+  switch (options_.fsync_policy) {
+    case FsyncPolicy::kNever: {
+      // Durability is delegated to the OS; acks release at write.
+      MutexLock lock(mu_);
+      durable_lsn_ = written_lsn_;
+      state_cv_.NotifyAll();
+      break;
+    }
+    case FsyncPolicy::kEveryBatch:
+      SyncNow();
+      break;
+    case FsyncPolicy::kEveryN:
+      records_since_sync_ += group.size();
+      if (records_since_sync_ >= options_.fsync_every_n) SyncNow();
+      break;
+  }
+  return true;
+}
+
+void OpLogWriter::WriterLoop() {
+  for (;;) {
+    std::vector<PendingEntry> group;
+    uint64_t rotate_to = 0;
+    uint64_t rotate_first_lsn = 0;
+    bool exiting = false;
+    bool idle_sync = false;
+    {
+      UniqueMutexLock lock(mu_);
+      for (;;) {
+        if (crashed_) return;
+        if (!pending_.empty()) break;
+        if (closed_) {
+          exiting = true;
+          break;
+        }
+        if (durable_lsn_ < written_lsn_) {
+          // Unsynced tail with no new work: sync it after a short idle
+          // delay so a quiet store converges to durable.
+          if (ring_cv_.WaitFor(lock, options_.idle_sync_delay) ==
+                  std::cv_status::timeout &&
+              pending_.empty() && !closed_ && !crashed_) {
+            idle_sync = true;
+            break;
+          }
+        } else {
+          ring_cv_.Wait(lock);
+        }
+      }
+      if (!exiting && !idle_sync) {
+        size_t bytes = 0;
+        while (!pending_.empty()) {
+          PendingEntry& front = pending_.front();
+          if (front.lsn == 0) {  // rotation marker
+            if (group.empty()) {
+              rotate_to = front.rotate_seq;
+              rotate_first_lsn = front.rotate_first_lsn;
+              pending_.pop_front();
+            }
+            break;
+          }
+          if (!group.empty() &&
+              bytes + front.bytes.size() > options_.max_group_bytes) {
+            break;
+          }
+          bytes += front.bytes.size();
+          group.push_back(std::move(front));
+          pending_.pop_front();
+        }
+        state_cv_.NotifyAll();  // ring space freed
+      }
+    }
+
+    if (exiting) {
+      // Clean shutdown syncs the tail regardless of policy, mirroring a
+      // clean process exit.
+      if (file_offset_ > synced_offset_) SyncNow();
+      {
+        MutexLock lock(mu_);
+        state_cv_.NotifyAll();
+      }
+      return;
+    }
+
+    if (idle_sync) {
+      SyncNow();
+      continue;
+    }
+
+    if (rotate_to != 0) {
+      // Segment close is always synced; an injected fsync failure here is
+      // counted but rotation proceeds (the close() flush is the backstop).
+      SyncNow();
+      ::close(fd_);
+      fd_ = -1;
+      Status open_status = OpenSegmentFile(rotate_to, rotate_first_lsn);
+      MutexLock lock(mu_);
+      if (!open_status.ok()) {
+        wedged_ = true;
+      } else {
+        applied_rotations_ += 1;
+        stats_.rotations += 1;
+        durable_lsn_ = written_lsn_;
+      }
+      state_cv_.NotifyAll();
+      if (!open_status.ok()) return;
+      continue;
+    }
+
+    if (!group.empty() && !WriteGroup(std::move(group))) {
+      MutexLock lock(mu_);
+      wedged_ = true;
+      stats_.append_failures += pending_.size();
+      pending_.clear();
+      state_cv_.NotifyAll();
+      return;
+    }
+  }
+}
+
+}  // namespace durability
+}  // namespace dido

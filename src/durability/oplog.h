@@ -1,0 +1,254 @@
+#ifndef DIDO_DURABILITY_OPLOG_H_
+#define DIDO_DURABILITY_OPLOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace dido {
+
+namespace obs {
+class AtomicHistogram;
+}
+
+namespace durability {
+
+// Append-only operation log with group commit (DESIGN.md §11).
+//
+// On-disk layout: a directory of numbered segment files, each starting
+// with a fixed segment header followed by back-to-back records:
+//
+//   segment header (24 B): magic 'DSEG' | version | first_lsn | rsvd | crc
+//   record (24 B + body):  crc | op | rsvd | key_len | value_len | lsn |
+//                          magic 'DREC' | key bytes | value bytes
+//
+// The record CRC is CRC32C over everything after the crc field (header
+// tail + key + value), so a torn or short tail is detected by the first
+// record whose checksum fails — recovery stops cleanly there.  LSNs are
+// monotonically increasing across segments; a segment's records are
+// exactly the LSN range (header.first_lsn .. next segment's first_lsn).
+
+// Operations a log record can carry.
+enum class LogOp : uint8_t { kSet = 1, kDelete = 2 };
+
+// How often the log writer thread fsyncs the segment file.
+enum class FsyncPolicy : uint8_t {
+  kNever = 0,      // trust the OS page cache (write-behind durability)
+  kEveryN = 1,     // sync when >= fsync_every_n records are unsynced
+  kEveryBatch = 2  // sync after every group write (strongest)
+};
+
+std::string_view FsyncPolicyName(FsyncPolicy policy);
+
+struct OpLogOptions {
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryBatch;
+  uint64_t fsync_every_n = 32;  // records, for kEveryN
+  // Bounded MPSC ring: appends beyond this many pending records block
+  // (backpressure) until the writer thread drains the ring.
+  size_t ring_capacity = 4096;
+  // Largest single group write, in bytes; bigger backlogs split.
+  size_t max_group_bytes = 4u << 20;
+  // Under kEveryN, a lone unsynced tail is synced after this idle delay so
+  // a quiet store still converges to durable.
+  std::chrono::milliseconds idle_sync_delay{2};
+};
+
+// Decoded view of one log record (points into the caller's buffer).
+struct LogRecordView {
+  LogOp op = LogOp::kSet;
+  uint64_t lsn = 0;
+  std::string_view key;
+  std::string_view value;
+};
+
+// Record / segment-header codec, shared by the writer and recovery.
+inline constexpr size_t kLogRecordHeaderBytes = 24;
+inline constexpr size_t kLogSegmentHeaderBytes = 24;
+size_t EncodedLogRecordSize(std::string_view key, std::string_view value);
+void EncodeLogRecord(LogOp op, uint64_t lsn, std::string_view key,
+                     std::string_view value, std::string* out);
+// Decodes the record at *offset, advancing it.  InvalidArgument on a bad
+// magic/CRC or a short read — the caller treats that as the torn tail.
+Status DecodeLogRecord(const uint8_t* data, size_t size, size_t* offset,
+                       LogRecordView* out);
+void EncodeSegmentHeader(uint64_t first_lsn, std::string* out);
+Status DecodeSegmentHeader(const uint8_t* data, size_t size,
+                           uint64_t* first_lsn);
+
+// Segment file naming: "<seq, 8 digits>.oplog" under the log directory.
+std::string SegmentFileName(uint64_t seq);
+struct SegmentInfo {
+  uint64_t seq = 0;
+  std::string path;
+};
+// All "*.oplog" files in `dir`, sorted by sequence number.
+std::vector<SegmentInfo> ListLogSegments(const std::string& dir);
+
+// Outcome of scanning one segment file.
+struct LogScanStats {
+  uint64_t records = 0;        // records decoded successfully
+  uint64_t bytes = 0;          // bytes consumed by decoded records
+  uint64_t torn_records = 0;   // 1 when the scan stopped at a bad record
+  bool clean_end = true;       // false when trailing bytes were abandoned
+  uint64_t last_lsn = 0;       // highest LSN decoded
+};
+// Scans `path`, invoking `fn` for every valid record in file order, and
+// stopping cleanly at the first torn/short record (clean_end = false, not
+// an error).  Errors are reserved for an unreadable file or a corrupt
+// segment header.
+Status ScanLogSegment(const std::string& path,
+                      const std::function<void(const LogRecordView&)>& fn,
+                      LogScanStats* stats);
+
+// Aggregate writer statistics (snapshot; see OpLogWriter::stats()).
+struct OpLogStats {
+  uint64_t appends = 0;          // records accepted into the ring
+  uint64_t append_failures = 0;  // appends rejected (wedged/closed log)
+  uint64_t ring_stalls = 0;      // appends that blocked on a full ring
+  uint64_t records_written = 0;
+  uint64_t bytes_written = 0;
+  uint64_t group_writes = 0;   // write() syscalls issued
+  uint64_t max_group_records = 0;
+  uint64_t fsyncs = 0;
+  uint64_t fsync_failures = 0;  // injected or real sync errors
+  uint64_t rotations = 0;
+  uint64_t last_lsn = 0;     // highest LSN assigned
+  uint64_t durable_lsn = 0;  // highest LSN covered by a sync (or write,
+                             // under kNever)
+  uint64_t pending_records = 0;  // ring depth at snapshot time
+  bool wedged = false;           // log hit a write fault and stopped
+};
+
+// The group-commit log writer: producers append encoded records into a
+// bounded ring; a dedicated writer thread drains the ring in groups, issues
+// one write() per group, fsyncs per policy, and only then advances the
+// durable LSN that releases acks (WaitDurable).
+//
+// Fault points (chaos builds only), all in the writer thread's I/O path:
+//   "oplog.short_write"  — persist only a prefix of the group's last
+//                          record, then wedge (simulated crash cut).
+//   "oplog.torn_tail"    — persist the group but zero the last record's
+//                          tail (simulated sector tearing), then wedge.
+//   "oplog.fsync_fail"   — report the sync as failed; covered acks stay
+//                          withheld until a later sync succeeds.
+class OpLogWriter {
+ public:
+  explicit OpLogWriter(const OpLogOptions& options);
+  ~OpLogWriter();
+  OpLogWriter(const OpLogWriter&) = delete;
+  OpLogWriter& operator=(const OpLogWriter&) = delete;
+
+  // Creates segment `seq` (first record will carry `first_lsn`) and starts
+  // the writer thread.  The directory must already exist.
+  Status Open(uint64_t segment_seq, uint64_t first_lsn);
+
+  // Appends one operation; returns its LSN, or 0 when the log is wedged or
+  // closed (counted in append_failures — the caller degrades, it does not
+  // block forever on a dead log).  Blocks while the ring is full.
+  // DIDO_COLD: durability is opt-in control-plane work; the hot pipeline
+  // stages only pay this enqueue, and the syscalls live on the writer
+  // thread behind it.
+  uint64_t Append(LogOp op, std::string_view key, std::string_view value)
+      DIDO_COLD;
+
+  // Blocks until `lsn` is durable per the fsync policy, the timeout
+  // elapses, or the log wedges/closes.  Returns whether `lsn` is durable.
+  bool WaitDurable(uint64_t lsn, std::chrono::milliseconds timeout);
+
+  // Drains the ring and syncs everything appended so far (best effort when
+  // wedged).  Returns the durable LSN afterwards.
+  uint64_t Flush();
+
+  // Closes the current segment (fsynced regardless of policy) and begins
+  // segment `new_seq` at the current LSN boundary.  Returns the last LSN
+  // of the closed segment through `boundary_lsn` — every record with
+  // lsn <= boundary lives in segments < new_seq.  Processed in ring order,
+  // so records already appended land in the old segment.
+  Status RotateSegment(uint64_t new_seq, uint64_t* boundary_lsn);
+
+  // Simulates a crash: the writer thread stops immediately and the active
+  // segment is truncated back to its last fsync-covered offset — exactly
+  // the bytes a power loss would have preserved.  (Closed segments are
+  // always synced at rotation, so only the active tail is at risk.)
+  void SimulateCrash();
+
+  // Clean shutdown: drains, syncs (all policies), stops the thread.
+  void Close();
+
+  OpLogStats stats() const;
+  // Highest LSN assigned so far (0 = none).
+  uint64_t last_lsn() const;
+  // Sync-latency histogram (microseconds per fsync); may be null.
+  void set_sync_histogram(obs::AtomicHistogram* histogram);
+
+ private:
+  struct PendingEntry {
+    uint64_t lsn = 0;             // 0 for a rotation marker
+    uint64_t rotate_seq = 0;      // target segment for a rotation marker
+    uint64_t rotate_first_lsn = 0;  // first LSN of the new segment
+    std::string bytes;            // encoded record (empty for markers)
+  };
+
+  void WriterLoop();
+  // Writes one drained group; returns false when the log wedged.
+  bool WriteGroup(std::vector<PendingEntry> group);
+  // fsyncs fd_, honouring "oplog.fsync_fail".  Updates synced state.
+  bool SyncNow();
+  Status OpenSegmentFile(uint64_t seq, uint64_t first_lsn);
+
+  const OpLogOptions options_;
+
+  mutable Mutex mu_;
+  CondVar ring_cv_;   // writer thread waits for work
+  CondVar state_cv_;  // producers wait for durable advance / ring space
+  std::deque<PendingEntry> pending_ DIDO_GUARDED_BY(mu_);
+  uint64_t next_lsn_ DIDO_GUARDED_BY(mu_) = 1;
+  uint64_t durable_lsn_ DIDO_GUARDED_BY(mu_) = 0;
+  uint64_t written_lsn_ DIDO_GUARDED_BY(mu_) = 0;  // written, maybe unsynced
+  bool closed_ DIDO_GUARDED_BY(mu_) = false;
+  bool crashed_ DIDO_GUARDED_BY(mu_) = false;
+  bool wedged_ DIDO_GUARDED_BY(mu_) = false;
+  uint64_t requested_rotations_ DIDO_GUARDED_BY(mu_) = 0;
+  uint64_t applied_rotations_ DIDO_GUARDED_BY(mu_) = 0;
+  OpLogStats stats_ DIDO_GUARDED_BY(mu_);
+
+  // Writer-thread-only file state (the single consumer owns these between
+  // the mutex-protected hand-offs, and SimulateCrash/Close only touch them
+  // after joining the thread).
+  // dido-analyze: allow(lock): single-consumer file state, accessed by the
+  // writer thread while it runs and by the owner only after join
+  int fd_ = -1;
+  // dido-analyze: allow(lock): see fd_
+  uint64_t segment_seq_ = 0;
+  // dido-analyze: allow(lock): see fd_
+  uint64_t file_offset_ = 0;
+  // dido-analyze: allow(lock): see fd_
+  uint64_t synced_offset_ = 0;
+  // dido-analyze: allow(lock): see fd_
+  uint64_t records_since_sync_ = 0;
+  // dido-analyze: allow(lock): see fd_
+  uint64_t unsynced_tail_lsn_ = 0;  // written_lsn at last write
+
+  // Set before the thread starts (or while detached); read by the writer.
+  // dido-analyze: allow(lock): set before the writer thread exists
+  obs::AtomicHistogram* sync_histogram_ = nullptr;
+
+  // dido-analyze: allow(lock): lifecycle handle — started in Open, joined
+  // by Close/SimulateCrash on the owner thread, never accessed concurrently
+  std::thread writer_;
+};
+
+}  // namespace durability
+}  // namespace dido
+
+#endif  // DIDO_DURABILITY_OPLOG_H_

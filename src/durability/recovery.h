@@ -1,0 +1,68 @@
+#ifndef DIDO_DURABILITY_RECOVERY_H_
+#define DIDO_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace dido {
+namespace durability {
+
+// Replay recovery (DESIGN.md §11): rebuild the in-memory store from the
+// newest valid checkpoint plus the oplog tail.
+//
+// State machine:
+//   1. SELECT   — newest checkpoint whose header/entries/footer all
+//                 validate; corrupted generations are counted and skipped
+//                 (the retention policy keeps the previous one around for
+//                 exactly this fallback).
+//   2. LOAD     — apply every checkpoint entry into the empty store.
+//   3. REPLAY   — scan log segments in sequence order, applying records
+//                 with lsn > checkpoint lsn in LSN order; segments fully
+//                 covered by the checkpoint are skipped without reading.
+//   4. STOP     — the first torn/short/CRC-failed record ends the replay
+//                 cleanly: an un-synced tail never carried a released ack,
+//                 so dropping it loses no acknowledged write.
+//
+// The applier returns Status so a failed apply (e.g. out of memory on a
+// smaller arena) aborts recovery instead of silently dropping records.
+
+struct RecoveryApplier {
+  std::function<Status(std::string_view key, std::string_view value,
+                       uint32_t version)>
+      apply_set;
+  std::function<Status(std::string_view key)> apply_delete;
+};
+
+struct RecoveryStats {
+  bool used_checkpoint = false;
+  uint64_t checkpoint_seq = 0;
+  uint64_t checkpoint_lsn = 0;
+  uint64_t checkpoint_entries = 0;
+  uint64_t checkpoints_dropped = 0;  // corrupt generations skipped
+  uint64_t segments_scanned = 0;
+  uint64_t segments_skipped = 0;  // fully covered by the checkpoint
+  uint64_t log_records_applied = 0;
+  uint64_t log_records_skipped = 0;  // lsn <= checkpoint lsn
+  uint64_t torn_tail_records = 0;    // records dropped at the torn tail
+  bool clean_log_end = true;
+  uint64_t recovered_lsn = 0;  // highest LSN applied or covered
+  // Where the next writer resumes: segment sequence and first LSN.
+  uint64_t next_segment_seq = 1;
+  uint64_t next_lsn = 1;
+};
+
+// Recovers the store image in `dir` through `applier`.  An empty or absent
+// directory recovers to an empty store (not an error).  Every error-guarded
+// exit below either returns the Status or counts the drop into `stats` —
+// the recovery half of the chaos suite's exactly-once arithmetic.
+Status Recover(const std::string& dir, const RecoveryApplier& applier,
+               RecoveryStats* stats) DIDO_MUST_RESPOND;
+
+}  // namespace durability
+}  // namespace dido
+
+#endif  // DIDO_DURABILITY_RECOVERY_H_

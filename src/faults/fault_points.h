@@ -41,10 +41,28 @@ inline constexpr std::string_view kIndexInsertBusy = "index.insert.busy";
 // Index insert reports displacement exhaustion (kCapacityFull, terminal).
 inline constexpr std::string_view kIndexInsertCapacityFull =
     "index.insert.capacity_full";
+// Oplog group write persists only a prefix of the final record (crash cut
+// a write() short); the log wedges as it would at power loss.
+inline constexpr std::string_view kOplogShortWrite = "oplog.short_write";
+// Oplog group write tears the final record (its tail sector is zeroed, as
+// when a crash lands between sector writes); the log wedges.
+inline constexpr std::string_view kOplogTornTail = "oplog.torn_tail";
+// Oplog fsync reports failure; covered acks stay withheld until a later
+// sync succeeds (FaultHit counts let tests make it transient).
+inline constexpr std::string_view kOplogFsyncFail = "oplog.fsync_fail";
+// Checkpoint writer dies mid-snapshot, leaving a partial temp file that
+// recovery must ignore in favour of the previous checkpoint.
+inline constexpr std::string_view kCkptKillMidCheckpoint =
+    "ckpt.kill_mid_checkpoint";
+// Checkpoint header is corrupted as written; recovery must detect the bad
+// CRC and fall back to the previous checkpoint generation.
+inline constexpr std::string_view kCkptCorruptHeader = "ckpt.corrupt_header";
 
 // Every fault point above, for exhaustive arming sweeps and the analyzer's
 // uniqueness / coverage checks.  Keep sorted by name.
 inline constexpr std::string_view kAllFaultPoints[] = {
+    kCkptCorruptHeader,         //
+    kCkptKillMidCheckpoint,     //
     kCodecEncodeCorrupt,        //
     kCodecEncodeTruncate,       //
     kIndexInsertBusy,           //
@@ -53,6 +71,9 @@ inline constexpr std::string_view kAllFaultPoints[] = {
     kMemAllocOom,               //
     kNetFrameRingDrop,          //
     kNetFrameRingDuplicate,     //
+    kOplogFsyncFail,            //
+    kOplogShortWrite,           //
+    kOplogTornTail,             //
 };
 
 }  // namespace faults

@@ -285,6 +285,20 @@ Status CuckooHashTable::Remove(uint64_t hash, KvObject* object) {
   return Status::NotFound();
 }
 
+void CuckooHashTable::ForEach(
+    const std::function<void(const KvObject*)>& fn) const {
+  for (uint64_t b = 0; b < num_buckets_; ++b) {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      // acquire: pairs with the publishing CAS in Insert so the object's
+      // contents (written before publication) are visible to the visitor.
+      const uint64_t entry =
+          buckets_[b].slots[s].load(std::memory_order_acquire);
+      if (entry == 0) continue;
+      fn(EntryObject(entry));
+    }
+  }
+}
+
 CuckooHashTable::Counters CuckooHashTable::counters() const {
   Counters snapshot;
   // relaxed loads throughout: each statistic is individually consistent;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -100,6 +101,16 @@ class CuckooHashTable {
   // Removes the entry pointing at exactly `object` (eviction path, where the
   // victim identity is known).  kNotFound if the index no longer holds it.
   Status Remove(uint64_t hash, KvObject* object);
+
+  // Visits every resident object once, in bucket order (the checkpoint
+  // snapshot walk).  Concurrent mutations make the cut fuzzy: an entry
+  // inserted, replaced or deleted mid-walk may or may not be seen — the
+  // durability tier repairs the difference by replaying the oplog records
+  // beyond the snapshot boundary in LSN order.  Epoch contract: `fn`
+  // receives retire-able pointers, so the caller must hold a pin across the
+  // entire walk.
+  void ForEach(const std::function<void(const KvObject*)>& fn) const
+      DIDO_REQUIRES_EPOCH;
 
   uint64_t num_buckets() const { return num_buckets_; }
   uint64_t Capacity() const { return num_buckets_ * kSlotsPerBucket; }

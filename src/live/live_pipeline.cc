@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "costmodel/cost_model.h"
+#include "durability/durability.h"
 #include "faults/fault_registry.h"
 #include "obs/drift.h"
 #include "obs/metrics.h"
@@ -165,6 +166,12 @@ void LivePipeline::SetupObservability() {
       "dido_live_set_retries_total", "Transient-error SET retries");
   error_responses_counter_ = reg->GetCounter(
       "dido_live_error_responses_total", "Queries answered with kError");
+  log_append_failures_counter_ = reg->GetCounter(
+      "dido_live_log_append_failures_total",
+      "Mutations the durability log refused (wedged log)");
+  durable_timeouts_counter_ = reg->GetCounter(
+      "dido_live_durable_wait_timeouts_total",
+      "Batches released after their durable wait timed out");
   failovers_counter_ = reg->GetCounter(
       "dido_live_failovers_total", "Watchdog healthy -> degraded transitions");
   repromotions_counter_ = reg->GetCounter(
@@ -273,8 +280,20 @@ void LivePipeline::RunStagesInline(const std::vector<StageSpec>& stages,
 
 void LivePipeline::RetireAndCount(QueryBatch* batch, bool degraded_inline) {
   // SD + retire: releases the batch's epoch pin and lets the epoch manager
-  // advance.
+  // advance.  Deliberately *before* the durable wait below — a group-commit
+  // wait while pinned would stall reclamation for the whole sync latency.
   runtime_->RetireBatch(batch);
+  bool durable_timeout = false;
+  if (batch->max_lsn != 0) {
+    durability::DurabilityManager* dur = runtime_->durability();
+    // The write-through ack gate: responses leave only once the batch's
+    // highest LSN is covered by a sync (group commit releases whole batches
+    // at once).  A timed-out wait releases anyway — shedding the guarantee,
+    // counted below — rather than wedging the retire path.
+    if (dur != nullptr && !dur->WaitDurable(batch->max_lsn)) {
+      durable_timeout = dur->mode() == durability::DurabilityMode::kWriteThrough;
+    }
+  }
   if (options_.response_ring != nullptr) {
     // Overflow handling (and drop counting) is the ring's: kDropNewest
     // rejects the frame, kDropOldest evicts the stalest queued response.
@@ -289,6 +308,8 @@ void LivePipeline::RetireAndCount(QueryBatch* batch, bool degraded_inline) {
   Bump(queries_retired_counter_, m.num_queries);
   Bump(set_retries_counter_, m.set_retries);
   Bump(error_responses_counter_, m.error_responses);
+  Bump(log_append_failures_counter_, m.log_append_failures);
+  if (durable_timeout) Bump(durable_timeouts_counter_);
   if (degraded_inline) Bump(degraded_batches_counter_);
   ObserveDrift(*batch);
   MutexLock lock(stats_mu_);
@@ -299,6 +320,8 @@ void LivePipeline::RetireAndCount(QueryBatch* batch, bool degraded_inline) {
   stats_.sets += m.sets;
   stats_.degradation.set_retries += m.set_retries;
   stats_.degradation.error_responses += m.error_responses;
+  stats_.degradation.log_append_failures += m.log_append_failures;
+  if (durable_timeout) stats_.degradation.durable_wait_timeouts += 1;
   if (degraded_inline) stats_.degradation.degraded_batches += 1;
   if (options_.keep_responses && options_.response_ring == nullptr) {
     for (Frame& frame : batch->responses) {

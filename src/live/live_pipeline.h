@@ -63,6 +63,12 @@ struct DegradationStats {
   uint64_t degraded_batches = 0;
   // Response frames lost to the (optional) bounded response ring.
   uint64_t responses_dropped = 0;
+  // Durability degradations (zero when no durability tier is attached):
+  // mutations the oplog refused (wedged log — applied but uncovered), and
+  // batches whose write-through durable wait timed out (responses released
+  // anyway, guarantee shed and counted).
+  uint64_t log_append_failures = 0;
+  uint64_t durable_wait_timeouts = 0;
 };
 
 // Wall-clock execution of a pipeline configuration with real OS threads.
@@ -303,6 +309,8 @@ class LivePipeline {
   obs::Counter* shed_queries_counter_ = nullptr;
   obs::Counter* set_retries_counter_ = nullptr;
   obs::Counter* error_responses_counter_ = nullptr;
+  obs::Counter* log_append_failures_counter_ = nullptr;
+  obs::Counter* durable_timeouts_counter_ = nullptr;
   obs::Counter* failovers_counter_ = nullptr;
   obs::Counter* repromotions_counter_ = nullptr;
   obs::Counter* degraded_batches_counter_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "faults/fault_registry.h"
 
 namespace dido {
@@ -28,6 +29,17 @@ uint32_t ReadU32(const uint8_t* p) {
          (static_cast<uint32_t>(p[3]) << 24);
 }
 
+// 8-bit header guard carried in the request's reserved byte: the low byte
+// of CRC32C over the other seven header bytes (op + key_len + value_len).
+// A flipped length or op bit is rejected before the lengths are trusted,
+// instead of surviving as a plausible-but-wrong record that misparses the
+// rest of the frame.
+uint8_t RequestHeaderChecksum(const uint8_t* header) {
+  uint32_t crc = Crc32cExtend(0, header, 1);            // op
+  crc = Crc32cExtend(crc, header + 2, 6);               // key_len, value_len
+  return static_cast<uint8_t>(crc & 0xFFu);
+}
+
 }  // namespace
 
 size_t EncodedRequestSize(QueryOp op, size_t key_size, size_t value_size) {
@@ -38,10 +50,11 @@ size_t EncodeRequest(QueryOp op, std::string_view key, std::string_view value,
                      std::vector<uint8_t>* buffer) {
   const size_t before = buffer->size();
   buffer->push_back(static_cast<uint8_t>(op));
-  buffer->push_back(0);  // reserved
+  buffer->push_back(0);  // header checksum, patched below
   AppendU16(static_cast<uint16_t>(key.size()), buffer);
   AppendU32(op == QueryOp::kSet ? static_cast<uint32_t>(value.size()) : 0,
             buffer);
+  (*buffer)[before + 1] = RequestHeaderChecksum(buffer->data() + before);
   buffer->insert(buffer->end(), key.begin(), key.end());
   if (op == QueryOp::kSet) {
     buffer->insert(buffer->end(), value.begin(), value.end());
@@ -82,6 +95,9 @@ Status DecodeRequest(const uint8_t* data, size_t size, size_t* offset,
     return Status::InvalidArgument("truncated request header");
   }
   const uint8_t* p = data + *offset;
+  if (p[1] != RequestHeaderChecksum(p)) {
+    return Status::InvalidArgument("request header checksum mismatch");
+  }
   const uint8_t op_raw = p[0];
   if (op_raw > static_cast<uint8_t>(QueryOp::kDelete)) {
     return Status::InvalidArgument("unknown request op");

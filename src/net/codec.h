@@ -12,8 +12,11 @@ namespace dido {
 
 // Compact binary key-value protocol carried inside simulated network frames.
 //
-// Request record:   u8 op | u8 reserved | u16 key_len | u32 value_len
+// Request record:   u8 op | u8 header_crc8 | u16 key_len | u32 value_len
 //                   | key bytes | value bytes (SET only)
+// header_crc8 is the low byte of CRC32C over the other seven header bytes:
+// a corrupted op or length field is rejected before the lengths are
+// trusted, so wire damage cannot misparse the rest of the frame.
 // Response record:  u8 op | u8 status   | u16 key_len | u32 value_len
 //                   | key bytes | value bytes (GET hit only)
 //

@@ -9,6 +9,7 @@ void QueryBatch::Clear() {
   staging.clear();
   responses.clear();
   index_counters_at_pp = CuckooHashTable::Counters();
+  max_lsn = 0;
   measurements = BatchMeasurements();
   obs = BatchObs();
 }

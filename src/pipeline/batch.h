@@ -71,6 +71,9 @@ struct BatchMeasurements {
   uint64_t malformed_frames = 0;
   uint64_t set_retries = 0;
   uint64_t error_responses = 0;
+  // Mutations the durability log refused (wedged/closed log): the op is
+  // applied and answered, but its ack is no longer covered by the log.
+  uint64_t log_append_failures = 0;
   double sum_key_bytes = 0.0;
   double sum_value_bytes = 0.0;      // over SET payloads
   double sum_hit_value_bytes = 0.0;  // over GET-hit objects
@@ -142,6 +145,11 @@ struct QueryBatch {
   // thread while the retire thread still reads it — both a data race and a
   // cross-batch accounting error.
   CuckooHashTable::Counters index_counters_at_pp;
+
+  // Highest oplog LSN appended by this batch's mutations (0 = none).  In
+  // write-through mode the batch's responses are held until this LSN is
+  // durable (group commit releases whole batches at once).
+  uint64_t max_lsn = 0;
 
   BatchMeasurements measurements;
   BatchObs obs;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "durability/durability.h"
 #include "obs/metrics.h"
 
 namespace dido {
@@ -270,6 +271,18 @@ void KvRuntime::RunIndexInsert(QueryBatch* batch, size_t begin, size_t end) {
       continue;
     }
     m.inserts += 1;
+    if (durability_ != nullptr) {
+      // Log after the index apply so everything with lsn <= a checkpoint's
+      // boundary is in memory when the snapshot iteration starts.  The
+      // enqueue is all the hot path pays (AppendSet is the cold hand-off to
+      // the log's writer thread); the ack wait happens at batch retirement.
+      const uint64_t lsn = durability_->AppendSet(record.key, record.value);
+      if (lsn == 0) {
+        m.log_append_failures += 1;  // wedged log: op applied, ack uncovered
+      } else if (lsn > batch->max_lsn) {
+        batch->max_lsn = lsn;
+      }
+    }
     if (replaced != nullptr) {
       // Old version superseded in place; quarantined until concurrent
       // readers provably dropped it.
@@ -293,6 +306,14 @@ void KvRuntime::RunIndexDelete(QueryBatch* batch, size_t begin, size_t end) {
         memory_->RetireObject(removed);
         record.status = ResponseStatus::kDeleted;
         m.deletes += 1;
+        if (durability_ != nullptr) {
+          const uint64_t lsn = durability_->AppendDelete(record.key);
+          if (lsn == 0) {
+            m.log_append_failures += 1;
+          } else if (lsn > batch->max_lsn) {
+            batch->max_lsn = lsn;
+          }
+        }
       } else {
         record.status = ResponseStatus::kMiss;
       }
@@ -467,18 +488,27 @@ Status KvRuntime::Put(std::string_view key, std::string_view value) {
       key, value, version_counter_.fetch_add(1, std::memory_order_relaxed) + 1,
       &evictions);
   if (!object.ok()) return object.status();
-  // Pin AFTER allocation: holding a pin across AllocateWithEviction would
-  // block the epoch advances its own retry loop waits for (self-starvation).
-  // From here the Insert probes (and may replace) retire-able objects.
-  EpochGuard guard(epoch_);
-  KvObject* replaced = nullptr;
-  const Status status =
-      index_->Insert(CuckooHashTable::HashKey(key), *object, &replaced);
-  if (!status.ok()) {
-    memory_->RetireObject(*object);
-    return status;
+  {
+    // Pin AFTER allocation: holding a pin across AllocateWithEviction would
+    // block the epoch advances its own retry loop waits for
+    // (self-starvation).  From here the Insert probes (and may replace)
+    // retire-able objects.  Scoped so the durable wait below runs unpinned —
+    // a group-commit wait must not stall reclamation.
+    EpochGuard guard(epoch_);
+    KvObject* replaced = nullptr;
+    const Status status =
+        index_->Insert(CuckooHashTable::HashKey(key), *object, &replaced);
+    if (!status.ok()) {
+      memory_->RetireObject(*object);
+      return status;
+    }
+    if (replaced != nullptr) memory_->RetireObject(replaced);
   }
-  if (replaced != nullptr) memory_->RetireObject(replaced);
+  if (durability_ != nullptr) {
+    // Direct API is write-through end to end: the call returns only after
+    // the record is durable (or the bounded wait degrades, counted there).
+    durability_->WaitDurable(durability_->AppendSet(key, value));
+  }
   return Status::Ok();
 }
 
@@ -496,13 +526,19 @@ Result<std::string> KvRuntime::GetValue(std::string_view key) {
 }
 
 Status KvRuntime::DeleteKey(std::string_view key) {
-  // Delete compares resident keys and RetireObject reads the unlinked
-  // object's detach flag — both need the pin to span them.
-  EpochGuard guard(epoch_);
-  KvObject* removed = nullptr;
-  DIDO_RETURN_IF_ERROR(
-      index_->Delete(CuckooHashTable::HashKey(key), key, &removed));
-  memory_->RetireObject(removed);
+  {
+    // Delete compares resident keys and RetireObject reads the unlinked
+    // object's detach flag — both need the pin to span them.  Scoped so the
+    // durable wait below runs unpinned.
+    EpochGuard guard(epoch_);
+    KvObject* removed = nullptr;
+    DIDO_RETURN_IF_ERROR(
+        index_->Delete(CuckooHashTable::HashKey(key), key, &removed));
+    memory_->RetireObject(removed);
+  }
+  if (durability_ != nullptr) {
+    durability_->WaitDurable(durability_->AppendDelete(key));
+  }
   return Status::Ok();
 }
 

@@ -21,6 +21,9 @@ namespace dido {
 namespace obs {
 class MetricsRegistry;
 }
+namespace durability {
+class DurabilityManager;
+}
 
 // The shared key-value state of the store — the cuckoo index plus the slab
 // heap — together with the *functional* implementation of every pipeline
@@ -54,6 +57,16 @@ class KvRuntime {
   // Undone on destruction or by re-registering against nullptr; the
   // registry must therefore outlive this runtime (or be detached first).
   void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  // Attaches the (opt-in) durability tier: once set, every applied SET and
+  // DELETE — pipeline stages and the direct API alike — appends to the
+  // oplog, and the direct mutators additionally hold their return until the
+  // record is durable (write-through mode).  Attach before traffic flows;
+  // recovery replay runs *before* attaching so it is not re-logged.
+  void set_durability(durability::DurabilityManager* manager) {
+    durability_ = manager;
+  }
+  durability::DurabilityManager* durability() const { return durability_; }
 
   CuckooHashTable& index() { return *index_; }
   MemoryManager& memory() { return *memory_; }
@@ -158,6 +171,8 @@ class KvRuntime {
 
   std::unique_ptr<CuckooHashTable> index_;
   std::unique_ptr<MemoryManager> memory_;
+  // Optional durability tier (not owned); null = volatile store (default).
+  durability::DurabilityManager* durability_ = nullptr;
   // Metrics registry this runtime registered its collector with.
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   std::atomic<uint64_t> sampling_epoch_{1};

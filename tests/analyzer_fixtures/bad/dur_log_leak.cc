@@ -1,0 +1,16 @@
+// Analyzer fixture — NOT compiled.  Durability-themed ownership leak:
+// the encoded log record from a DIDO_TRANSFERS_OWNERSHIP allocator is
+// dropped on the wedged-log early return instead of being freed or
+// published to the ring — the static face of the oplog contract that
+// every record reaches the ring or a Free before the append exits.
+
+FixtureRecord* AllocateLogRecord(int bytes) DIDO_TRANSFERS_OWNERSHIP;
+
+bool EnqueueRecord(FixtureRing* ring, int bytes) {
+  FixtureRecord* record = AllocateLogRecord(bytes);
+  if (IsWedged(ring)) {
+    return false;  // expect: [own] record leaks on the wedged path
+  }
+  Insert(record);
+  return true;
+}

@@ -1,0 +1,18 @@
+// Analyzer fixture — NOT compiled.  Durability-themed response gap: a
+// DIDO_MUST_RESPOND recovery loop stops at a torn log record without
+// accounting for the drop.  The replay half of the crash matrix requires
+// every error-guarded exit to either propagate the Status or bump a
+// torn/dropped counter — a silent break here is a record that vanished
+// from the exactly-once arithmetic.
+
+void ReplayFixtureLog(FixtureLog* log) DIDO_MUST_RESPOND;
+
+void ReplayFixtureLog(FixtureLog* log) {
+  while (HasRecord(log)) {
+    FixtureStatus status = DecodeNext(log);
+    if (!status.ok()) {
+      break;  // expect: [resp] torn-tail exit with no accounting
+    }
+    ApplyRecord(log);
+  }
+}

@@ -1,0 +1,15 @@
+// Analyzer fixture — NOT compiled.  Clean twin of bad/dur_log_leak.cc:
+// the wedged-log early exit frees the encoded record before returning,
+// and the success path publishes it to the ring.
+
+FixtureRecord* AllocateLogRecord(int bytes) DIDO_TRANSFERS_OWNERSHIP;
+
+bool EnqueueRecordSafely(FixtureRing* ring, int bytes) {
+  FixtureRecord* record = AllocateLogRecord(bytes);
+  if (IsWedged(ring)) {
+    Free(record);
+    return false;
+  }
+  Insert(record);
+  return true;
+}

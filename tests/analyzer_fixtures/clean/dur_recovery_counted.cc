@@ -1,0 +1,17 @@
+// Analyzer fixture — NOT compiled.  Clean twin of
+// bad/dur_recovery_drop.cc: the torn-tail exit counts the dropped record
+// before stopping the replay, mirroring the real recovery's
+// `torn_tail_records` bookkeeping.
+
+void ReplayFixtureLog(FixtureLog* log) DIDO_MUST_RESPOND;
+
+void ReplayFixtureLog(FixtureLog* log) {
+  while (HasRecord(log)) {
+    FixtureStatus status = DecodeNext(log);
+    if (!status.ok()) {
+      g_torn_dropped_records += 1;
+      break;
+    }
+    ApplyRecord(log);
+  }
+}

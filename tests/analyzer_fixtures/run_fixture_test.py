@@ -45,10 +45,12 @@ EXPECTED_BAD = [
     ("hot_impure.cc:14", "[hot]"),            # heap allocation in the root
     ("own_leak.cc:11", "[own]"),              # early return before any sink
     ("own_leak.cc:18", "[own]"),              # discarded owned result
+    ("dur_log_leak.cc:12", "[own]"),          # leaked oplog record
     ("resp_dropped.cc:12", "[resp]"),         # error-guarded silent continue
+    ("dur_recovery_drop.cc:14", "[resp]"),    # unaccounted recovery exit
     ("memorder_bare.cc:9", "[memorder]"),     # unjustified relaxed downgrade
 ]
-EXPECTED_BAD_COUNT = 13
+EXPECTED_BAD_COUNT = 15
 
 
 def main():

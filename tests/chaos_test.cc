@@ -11,17 +11,24 @@
 // never touched the store.
 
 #include <chrono>
+#include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/dido_store.h"
+#include "durability/durability.h"
+#include "durability/oplog.h"
+#include "durability/recovery.h"
 #include "faults/fault_registry.h"
 #include "live/live_pipeline.h"
 #include "net/codec.h"
 #include "net/sim_nic.h"
 #include "pipeline/kv_runtime.h"
+#include "sim/device_spec.h"
 #include "workload/workload.h"
 
 #if !defined(DIDO_FAULT_INJECTION)
@@ -274,6 +281,266 @@ TEST_F(ChaosTest, ResponseRingDeliveryFaultArithmetic) {
   std::vector<Frame> frames;
   ring.PopBatch(ring.size(), &frames);
   (void)CountResponseRecords(frames);
+}
+
+// ------------------------------------------------- durability crash matrix --
+//
+// Each test arms one durability fault point and checks the recovery half of
+// the exactly-once contract: every *acked* write is recovered exactly once
+// (write-through acks release only after a covering sync), and no write
+// whose ack was withheld resurrects ahead of a lost acked one.
+
+class DurabilityChaosTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    ChaosTest::SetUp();
+    dir_ = ::testing::TempDir() + "/dido_chaos_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    ChaosTest::TearDown();
+  }
+
+  durability::DurabilityOptions ManagerOptions() const {
+    durability::DurabilityOptions options;
+    options.enabled = true;
+    options.dir = dir_;
+    options.durable_wait_timeout = std::chrono::milliseconds(200);
+    return options;
+  }
+
+  DidoOptions StoreOptions() const {
+    DidoOptions options;
+    options.arena_bytes = 8ull << 20;
+    options.index_buckets = 1 << 12;
+    options.adaptive = false;
+    options.durability.enabled = true;
+    options.durability.dir = dir_;
+    return options;
+  }
+
+  // Recovers `dir_` into a map with a fresh manager; returns its stats.
+  std::map<std::string, std::string> Recovered(
+      durability::RecoveryStats* stats) {
+    durability::DurabilityManager manager(ManagerOptions(),
+                                          DefaultKaveriSpec());
+    std::map<std::string, std::string> image;
+    durability::RecoveryApplier applier;
+    applier.apply_set = [&image](std::string_view key, std::string_view value,
+                                 uint32_t /*version*/) {
+      image[std::string(key)] = std::string(value);
+      return Status::Ok();
+    };
+    applier.apply_delete = [&image](std::string_view key) {
+      image.erase(std::string(key));
+      return Status::Ok();
+    };
+    EXPECT_TRUE(manager.Open(applier, stats).ok());
+    manager.Close();
+    return image;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurabilityChaosTest, OplogShortWriteWedgesLogAndKeepsAckedPrefix) {
+  durability::DurabilityManager manager(ManagerOptions(), DefaultKaveriSpec());
+  durability::RecoveryApplier noop;
+  noop.apply_set = [](std::string_view, std::string_view, uint32_t) {
+    return Status::Ok();
+  };
+  noop.apply_delete = [](std::string_view) { return Status::Ok(); };
+  ASSERT_TRUE(manager.Open(noop, nullptr).ok());
+
+  // Five acked (durable) writes before the crash-shaped fault.
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t lsn = manager.AppendSet("acked" + std::to_string(i), "v");
+    ASSERT_NE(lsn, 0u);
+    ASSERT_TRUE(manager.WaitDurable(lsn));
+  }
+
+  // The next group write persists only a prefix of its final record (the
+  // crash cut a write() short) and the log wedges.
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.ArmOneShot("oplog.short_write");
+  const uint64_t victim = manager.AppendSet("victim", "never-acked");
+  ASSERT_NE(victim, 0u);
+  EXPECT_FALSE(manager.WaitDurable(victim));  // ack withheld: wedged log
+  ASSERT_EQ(faults.fire_count("oplog.short_write"), 1u);
+
+  // A wedged log degrades (counted append failures), never blocks forever.
+  EXPECT_EQ(manager.AppendSet("after-wedge", "v"), 0u);
+  const durability::DurabilityStats stats = manager.stats();
+  EXPECT_TRUE(stats.log.wedged);
+  EXPECT_GE(stats.log.append_failures, 1u);
+  EXPECT_GE(stats.durable_timeouts, 1u);
+  manager.SimulateCrash();
+
+  durability::RecoveryStats recovery;
+  const std::map<std::string, std::string> image = Recovered(&recovery);
+  EXPECT_EQ(image.size(), 5u);
+  EXPECT_EQ(image.count("victim"), 0u);  // unacked write did not resurrect
+  EXPECT_FALSE(recovery.clean_log_end);
+  EXPECT_EQ(recovery.torn_tail_records, 1u);
+}
+
+TEST_F(DurabilityChaosTest, OplogTornTailStopsReplayAtTheTear) {
+  durability::DurabilityManager manager(ManagerOptions(), DefaultKaveriSpec());
+  durability::RecoveryApplier noop;
+  noop.apply_set = [](std::string_view, std::string_view, uint32_t) {
+    return Status::Ok();
+  };
+  noop.apply_delete = [](std::string_view) { return Status::Ok(); };
+  ASSERT_TRUE(manager.Open(noop, nullptr).ok());
+
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t lsn =
+        manager.AppendSet("acked" + std::to_string(i), std::string(64, 'v'));
+    ASSERT_NE(lsn, 0u);
+    ASSERT_TRUE(manager.WaitDurable(lsn));
+  }
+
+  // The final record of the next group reaches disk with its tail sectors
+  // zeroed (power loss mid-sector-train); its CRC must catch the tear.
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.ArmOneShot("oplog.torn_tail");
+  const uint64_t victim = manager.AppendSet("victim", std::string(64, 'x'));
+  ASSERT_NE(victim, 0u);
+  EXPECT_FALSE(manager.WaitDurable(victim));
+  ASSERT_EQ(faults.fire_count("oplog.torn_tail"), 1u);
+  manager.SimulateCrash();
+
+  durability::RecoveryStats recovery;
+  const std::map<std::string, std::string> image = Recovered(&recovery);
+  EXPECT_EQ(image.size(), 5u);
+  EXPECT_EQ(image.count("victim"), 0u);
+  EXPECT_EQ(recovery.torn_tail_records, 1u);
+  EXPECT_FALSE(recovery.clean_log_end);
+  EXPECT_EQ(recovery.recovered_lsn, 5u);
+}
+
+TEST_F(DurabilityChaosTest, OplogFsyncFailWithholdsAcksUntilSyncSucceeds) {
+  durability::DurabilityOptions options = ManagerOptions();
+  options.fsync_policy = durability::FsyncPolicy::kEveryBatch;
+  // Generous bound: the ack must release on the *retried* sync below.
+  options.durable_wait_timeout = std::chrono::milliseconds(5000);
+  durability::DurabilityManager manager(options, DefaultKaveriSpec());
+  durability::RecoveryApplier noop;
+  noop.apply_set = [](std::string_view, std::string_view, uint32_t) {
+    return Status::Ok();
+  };
+  noop.apply_delete = [](std::string_view) { return Status::Ok(); };
+  ASSERT_TRUE(manager.Open(noop, nullptr).ok());
+
+  // One transient sync failure: the group's acks stay withheld until the
+  // writer's idle re-sync succeeds — never released on unsynced bytes.
+  FaultRegistry& faults = FaultRegistry::Global();
+  faults.ArmOneShot("oplog.fsync_fail");
+  const uint64_t lsn = manager.AppendSet("key", "value");
+  ASSERT_NE(lsn, 0u);
+  EXPECT_TRUE(manager.WaitDurable(lsn));
+  EXPECT_EQ(faults.fire_count("oplog.fsync_fail"), 1u);
+  const durability::DurabilityStats stats = manager.stats();
+  EXPECT_GE(stats.log.fsync_failures, 1u);
+  EXPECT_GE(stats.log.fsyncs, 1u);  // the retry that released the ack
+  manager.SimulateCrash();
+
+  durability::RecoveryStats recovery;
+  const std::map<std::string, std::string> image = Recovered(&recovery);
+  EXPECT_EQ(image.count("key"), 1u);  // acked => recovered
+}
+
+TEST_F(DurabilityChaosTest, CkptKillMidCheckpointKeepsPreviousAuthoritative) {
+  {
+    DidoStore store(StoreOptions());
+    ASSERT_TRUE(store.durability_status().ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(store.Put("gen1_" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE(store.Checkpoint().ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store.Put("gen2_" + std::to_string(i), "v").ok());
+    }
+
+    // The checkpoint writer dies mid-snapshot: the attempt must fail, be
+    // counted, and leave no partial generation behind.
+    FaultRegistry& faults = FaultRegistry::Global();
+    faults.ArmOneShot("ckpt.kill_mid_checkpoint");
+    EXPECT_FALSE(store.Checkpoint().ok());
+    EXPECT_EQ(faults.fire_count("ckpt.kill_mid_checkpoint"), 1u);
+    EXPECT_EQ(store.durability()->stats().checkpoint_failures, 1u);
+
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(store.Put("gen3_" + std::to_string(i), "v").ok());
+    }
+  }  // clean shutdown
+
+  // No abandoned temp checkpoint survives the failed attempt.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+
+  DidoStore reopened(StoreOptions());
+  ASSERT_TRUE(reopened.durability_status().ok());
+  const durability::DurabilityStats stats = reopened.durability()->stats();
+  EXPECT_TRUE(stats.recovery.used_checkpoint);
+  EXPECT_EQ(stats.recovery.checkpoint_seq, 1u);  // the surviving generation
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(reopened.Get("gen1_" + std::to_string(i)).ok()) << i;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(reopened.Get("gen2_" + std::to_string(i)).ok()) << i;
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(reopened.Get("gen3_" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST_F(DurabilityChaosTest, CkptCorruptHeaderFallsBackToOlderGeneration) {
+  {
+    DidoStore store(StoreOptions());
+    ASSERT_TRUE(store.durability_status().ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(store.Put("gen1_" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE(store.Checkpoint().ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store.Put("gen2_" + std::to_string(i), "v").ok());
+    }
+
+    // This checkpoint "succeeds" but its header reaches disk damaged; the
+    // corruption is only discoverable at recovery time.
+    FaultRegistry& faults = FaultRegistry::Global();
+    faults.ArmOneShot("ckpt.corrupt_header");
+    ASSERT_TRUE(store.Checkpoint().ok());
+    EXPECT_EQ(faults.fire_count("ckpt.corrupt_header"), 1u);
+
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(store.Put("gen3_" + std::to_string(i), "v").ok());
+    }
+  }  // clean shutdown
+
+  // Recovery must reject the corrupt newest generation (counted) and fall
+  // back to the previous one — whose covering log segments the retention
+  // policy deliberately kept around.
+  DidoStore reopened(StoreOptions());
+  ASSERT_TRUE(reopened.durability_status().ok());
+  const durability::DurabilityStats stats = reopened.durability()->stats();
+  EXPECT_EQ(stats.recovery.checkpoints_dropped, 1u);
+  EXPECT_TRUE(stats.recovery.used_checkpoint);
+  EXPECT_EQ(stats.recovery.checkpoint_seq, 1u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(reopened.Get("gen1_" + std::to_string(i)).ok()) << i;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(reopened.Get("gen2_" + std::to_string(i)).ok()) << i;
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(reopened.Get("gen3_" + std::to_string(i)).ok()) << i;
+  }
 }
 
 }  // namespace

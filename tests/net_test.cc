@@ -130,6 +130,27 @@ TEST(CodecTest, RejectsValueOnGet) {
       DecodeRequest(buffer.data(), buffer.size(), &offset, &view).ok());
 }
 
+TEST(CodecTest, RejectsEveryHeaderBitFlip) {
+  // The header checksum byte makes wire damage to the op or length fields
+  // a deterministic rejection, not a lucky parse: every single-bit flip
+  // anywhere in the 8-byte header must fail to decode.
+  std::vector<uint8_t> pristine;
+  EncodeRequest(QueryOp::kSet, "key-aaaa", "valuevalue", &pristine);
+  for (size_t byte = 0; byte < kRecordHeaderBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> buffer = pristine;
+      buffer[byte] ^= static_cast<uint8_t>(1u << bit);
+      size_t offset = 0;
+      RequestView view;
+      Status status = DecodeRequest(buffer.data(), buffer.size(), &offset, &view);
+      EXPECT_FALSE(status.ok())
+          << "bit " << bit << " of header byte " << byte
+          << " flipped but the record still decoded";
+      EXPECT_EQ(offset, 0u);
+    }
+  }
+}
+
 TEST(CodecTest, DecodeAllFailsOnGarbageTail) {
   std::vector<uint8_t> buffer;
   EncodeRequest(QueryOp::kGet, "key-aaaa", "", &buffer);
