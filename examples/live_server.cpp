@@ -28,6 +28,7 @@
 #include "live/live_pipeline.h"
 #include "obs/drift.h"
 #include "obs/metrics.h"
+#include "obs/recalibrate.h"
 #include "obs/trace.h"
 
 using namespace dido;
@@ -52,11 +53,13 @@ void ReporterLoop(obs::MetricsRegistry& registry,
     const uint64_t shed = counter_value("dido_live_shed_batches_total");
     const double drift = gauge_value("dido_live_costmodel_tmax_abs_rel_error");
     const double degraded = gauge_value("dido_live_degraded");
+    const double recal_gen = gauge_value("dido_recal_generation");
     std::printf(
-        "  [obs] %8.2f kq/s | %lu batches | %lu shed | drift %.3f | %s\n",
+        "  [obs] %8.2f kq/s | %lu batches | %lu shed | drift %.3f | "
+        "recal gen %.0f | %s\n",
         static_cast<double>(queries - last_queries) / 500.0,
         static_cast<unsigned long>(batches), static_cast<unsigned long>(shed),
-        drift, degraded > 0.5 ? "DEGRADED" : "healthy");
+        drift, recal_gen, degraded > 0.5 ? "DEGRADED" : "healthy");
     last_queries = queries;
   }
 }
@@ -65,7 +68,8 @@ LivePipeline::Stats ServeLive(KvRuntime& runtime, const PipelineConfig& config,
                               TrafficSource& source, int millis,
                               obs::MetricsRegistry* metrics,
                               obs::TraceCollector* trace,
-                              const CostModel* cost_model) {
+                              const CostModel* cost_model,
+                              obs::OnlineCalibrator* calibrator) {
   // Bounded TX ring with drop-oldest overflow: under overload the server
   // abandons the stalest responses rather than blocking the pipeline.
   FrameRing tx_ring(4096, OverflowPolicy::kDropOldest);
@@ -76,6 +80,7 @@ LivePipeline::Stats ServeLive(KvRuntime& runtime, const PipelineConfig& config,
   options.metrics = metrics;
   options.trace = trace;
   options.cost_model = cost_model;
+  options.calibrator = calibrator;
   LivePipeline pipeline(&runtime, config, options);
   DIDO_CHECK(pipeline.Start(&source).ok());
 
@@ -112,7 +117,19 @@ int main() {
   // outlive everything registered with it.
   obs::MetricsRegistry metrics;
   obs::TraceCollector trace(1 << 16);
-  const CostModel cost_model(DefaultKaveriSpec(), CostModelOptions());
+  CostModel cost_model(DefaultKaveriSpec(), CostModelOptions());
+
+  // Closed calibration loop (DESIGN.md §12): the drift tracker feeds
+  // normalized residuals into the calibrator, and every committed fit is
+  // pushed back into the cost model the drift gauges audit.  On a host
+  // whose relative CPU/GPU behaviour matches the spec the loop simply
+  // stays at generation 0 — the gauges still prove it is armed.
+  obs::OnlineCalibrator::Options recal_options;
+  recal_options.on_commit = [&cost_model](const CalibrationOverlay& overlay) {
+    cost_model.ApplyCalibration(overlay);
+  };
+  obs::OnlineCalibrator calibrator(recal_options);
+  calibrator.AttachObservability(&metrics, &trace);
 
   KvRuntime::Options rt;
   rt.slab.arena_bytes = 64 << 20;
@@ -140,7 +157,8 @@ int main() {
         std::pair<const char*, PipelineConfig>{"Mega-KV static",
                                                PipelineConfig::MegaKv()}}) {
     const LivePipeline::Stats stats = ServeLive(
-        runtime, config, source, 2000, &metrics, &trace, &cost_model);
+        runtime, config, source, 2000, &metrics, &trace, &cost_model,
+        &calibrator);
     std::printf("%-16s %s\n", name, config.ToString().c_str());
     std::printf("  %.2f s wall, %lu batches, %lu queries, %.2f Mops "
                 "(host machine), hit ratio %.2f%%\n",
@@ -176,6 +194,11 @@ int main() {
               static_cast<unsigned long>(
                   metrics.GetCounter("dido_live_costmodel_batches_total")
                       ->Value()));
+  const CalibrationOverlay overlay = calibrator.overlay();
+  std::printf("calibration: generation %lu, scales CPU %.3f / GPU %.3f "
+              "(gen 0 = host matches the spec's relative CPU/GPU costs)\n",
+              static_cast<unsigned long>(overlay.generation),
+              overlay.cpu_scale, overlay.gpu_scale);
   if (WriteFile("live_server_metrics.prom", metrics.RenderPrometheus()) &&
       WriteFile("live_server_metrics.json", metrics.RenderJson()) &&
       WriteFile("live_server_trace.json", trace.RenderChromeTrace())) {

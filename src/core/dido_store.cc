@@ -121,6 +121,7 @@ void DidoStore::AttachObservability(obs::MetricsRegistry* metrics,
   }
   if (metrics == nullptr) {
     drift_.reset();
+    calibrator_.reset();
     replans_counter_ = nullptr;
     return;
   }
@@ -131,12 +132,31 @@ void DidoStore::AttachObservability(obs::MetricsRegistry* metrics,
   // Raw comparison: both sides are simulated-APU microseconds (the paper's
   // Fig. 9 prediction-error setting, evaluated continuously).
   drift_options.normalize = false;
+  if (options_.recalibrate) {
+    obs::OnlineCalibrator::Options recal = options_.recalibrate_options;
+    // Committed fits land in the cost model immediately; the next
+    // prediction — and the next planner pass — runs under the new scales.
+    recal.on_commit = [this](const CalibrationOverlay& overlay) {
+      cost_model_.ApplyCalibration(overlay);
+    };
+    calibrator_ = std::make_unique<obs::OnlineCalibrator>(recal);
+    calibrator_->AttachObservability(metrics, trace);
+    drift_options.calibrator = calibrator_.get();
+  } else {
+    calibrator_.reset();
+  }
   drift_ = std::make_unique<obs::CostDriftTracker>(metrics, drift_options);
 }
 
 void DidoStore::MaybeAdapt() {
   runtime_->set_sampling_epoch(profiler_.epoch());
-  if (!options_.adaptive || !profiler_.ShouldReplan()) return;
+  if (!options_.adaptive) return;
+  // Two independent replan triggers: the workload drifted (profiler) or the
+  // hardware model drifted (a committed calibration shift beyond the
+  // calibrator's replan threshold re-ranks the pipeline cuts).
+  const bool calibration_shift =
+      calibrator_ != nullptr && calibrator_->TakeReplanRequest();
+  if (!calibration_shift && !profiler_.ShouldReplan()) return;
   SearchOptions search;
   search.latency_cap_us = options_.executor.latency_cap_us;
   search.interval_us = options_.executor.interval_us;
@@ -167,13 +187,16 @@ BatchResult DidoStore::ServeBatch(TrafficSource& source,
     if (prediction.stages.size() == result.stages.size()) {
       std::vector<double> predicted_us;
       std::vector<double> observed_us;
+      std::vector<Device> devices;
       predicted_us.reserve(result.stages.size());
       observed_us.reserve(result.stages.size());
+      devices.reserve(result.stages.size());
       for (size_t s = 0; s < result.stages.size(); ++s) {
         predicted_us.push_back(prediction.stages[s].time_after_steal_us);
         observed_us.push_back(result.stages[s].time_after_steal_us);
+        devices.push_back(result.stages[s].device);
       }
-      drift_->ObserveBatch(predicted_us, observed_us);
+      drift_->ObserveBatch(predicted_us, observed_us, devices);
     }
   }
   profiler_.Observe(result.measured_profile, result.measurements);

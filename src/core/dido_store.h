@@ -12,6 +12,7 @@
 #include "costmodel/cost_model.h"
 #include "costmodel/profiler.h"
 #include "obs/drift.h"
+#include "obs/recalibrate.h"
 #include "pipeline/kv_runtime.h"
 #include "pipeline/pipeline_executor.h"
 
@@ -42,6 +43,15 @@ struct DidoOptions {
   bool adaptive = true;
   bool work_stealing = true;
   PipelineConfig initial_config = PipelineConfig::DidoDefault();
+
+  // Closed-loop calibration (DESIGN.md §12): when observability is attached,
+  // an OnlineCalibrator consumes the drift tracker's per-(device, stage)
+  // residuals, fits bounded per-device scale factors, and installs them into
+  // the cost model; a committed shift beyond its replan threshold forces a
+  // re-planning pass even when the workload itself has not drifted.  A/B
+  // benches set this false to measure the open-loop baseline.
+  bool recalibrate = true;
+  obs::OnlineCalibrator::Options recalibrate_options;
 
   // Opt-in durability tier (DESIGN.md §11): when enabled, construction
   // recovers the image in durability.dir (checkpoint + log replay), every
@@ -118,13 +128,20 @@ class DidoStore {
   WorkloadProfiler& profiler() { return profiler_; }
   const CostModel& cost_model() const { return cost_model_; }
   const DidoOptions& options() const { return options_; }
+  // Null until AttachObservability with options.recalibrate (the closed loop
+  // rides the metrics-backed drift tracker).
+  obs::OnlineCalibrator* calibrator() { return calibrator_.get(); }
+  const obs::CostDriftTracker* drift_tracker() const { return drift_.get(); }
 
   // Wires the whole store into the observability layer: the runtime's
   // component collectors, the executor's dido_sim_* series and virtual-
   // timeline spans, a dido_replans_total counter, and a raw-mode (µs vs µs)
   // cost-model drift tracker under dido_sim_costmodel_* that compares each
-  // served batch's prediction to its simulated stage times.  `trace` may be
-  // null; `metrics` null detaches everything.
+  // served batch's prediction to its simulated stage times.  When
+  // options.recalibrate is set, the drift tracker additionally feeds an
+  // OnlineCalibrator (dido_recal_* series) whose committed fits flow back
+  // into the cost model.  `trace` may be null; `metrics` null detaches
+  // everything.
   void AttachObservability(obs::MetricsRegistry* metrics,
                            obs::TraceCollector* trace = nullptr);
 
@@ -145,7 +162,9 @@ class DidoStore {
   PipelineConfig config_;
   uint64_t replan_count_ = 0;
 
-  // Observability (see AttachObservability).
+  // Observability (see AttachObservability).  The calibrator must outlive
+  // the drift tracker that feeds it, so it is declared first.
+  std::unique_ptr<obs::OnlineCalibrator> calibrator_;
   std::unique_ptr<obs::CostDriftTracker> drift_;
   obs::Counter* replans_counter_ = nullptr;
 };

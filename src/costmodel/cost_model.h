@@ -64,6 +64,19 @@ class CostModel {
   const CostModelOptions& options() const { return options_; }
   const TimingModel& timing() const { return timing_; }
 
+  // Installs the fitted per-device calibration (DESIGN.md §12): every
+  // subsequent Predict* — and therefore every config-search ranking — sees
+  // device times scaled by the overlay.  The interference grid needs no
+  // rebuild: it maps DRAM intensities to slowdown factors, which the
+  // time-scale overlay does not touch.  Not thread-safe against concurrent
+  // Predict* (the planner and calibrator run on the serving thread).
+  void ApplyCalibration(const CalibrationOverlay& overlay) {
+    timing_.set_calibration(overlay);
+  }
+  const CalibrationOverlay& calibration() const {
+    return timing_.calibration();
+  }
+
   // Predicts steady-state behaviour of `config` for workload `profile`
   // under a per-stage scheduling interval of `interval_us`.
   Prediction Predict(const PipelineConfig& config,

@@ -235,6 +235,11 @@ uint64_t DurabilityManager::last_lsn() const {
   return log_ != nullptr ? log_->last_lsn() : 0;
 }
 
+void DurabilityManager::set_trace(obs::TraceCollector* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) trace_->SetThreadName(99, "oplog-writer");
+}
+
 void DurabilityManager::RegisterMetrics(obs::MetricsRegistry* registry) {
   const std::string id = CollectorId(this);
   if (metrics_registry_ != nullptr && metrics_registry_ != registry) {

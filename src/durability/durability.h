@@ -138,7 +138,9 @@ class DurabilityManager {
   // histogram into `registry`; nullptr detaches.  `trace` (optional)
   // receives checkpoint/recovery spans.
   void RegisterMetrics(obs::MetricsRegistry* registry);
-  void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
+  // Attaching also names the durability trace lane (tid 99 "oplog-writer":
+  // the group-commit writer thread plus checkpoint/recovery spans).
+  void set_trace(obs::TraceCollector* trace);
 
  private:
   void AddTraceSpan(const char* name, uint64_t start_us, uint64_t end_us,

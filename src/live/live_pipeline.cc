@@ -184,6 +184,7 @@ void LivePipeline::SetupObservability() {
     obs::CostDriftTracker::Options drift_options;
     drift_options.normalize = true;  // simulated-APU pred vs host wall obs
     drift_options.prefix = "dido_live_costmodel";
+    drift_options.calibrator = options_.calibrator;
     drift_ = std::make_unique<obs::CostDriftTracker>(reg, drift_options);
   }
 }
@@ -198,13 +199,16 @@ void LivePipeline::ObserveDrift(const QueryBatch& batch) {
   if (prediction.stages.size() != observed.num_stages) return;
   std::vector<double> predicted_us;
   std::vector<double> observed_us;
+  std::vector<Device> devices;
   predicted_us.reserve(observed.num_stages);
   observed_us.reserve(observed.num_stages);
+  devices.reserve(observed.num_stages);
   for (size_t i = 0; i < observed.num_stages; ++i) {
     predicted_us.push_back(prediction.stages[i].time_after_steal_us);
     observed_us.push_back(observed.stage_execute_us[i]);
+    devices.push_back(prediction.stages[i].device);
   }
-  drift_->ObserveBatch(predicted_us, observed_us);
+  drift_->ObserveBatch(predicted_us, observed_us, devices);
 }
 
 Status LivePipeline::Start(TrafficSource* source) {
@@ -236,6 +240,22 @@ Status LivePipeline::Start(TrafficSource* source) {
     health_.push_back(std::make_unique<StageHealth>());
     if (i >= 1) {
       queues_.push_back(std::make_unique<BatchQueue>(options_.queue_depth));
+    }
+  }
+
+  // Label the trace lanes before their threads produce spans, so viewers
+  // show "stage1 [GPU]" / "watchdog" instead of bare tids.
+  if (options_.trace != nullptr) {
+    for (size_t s = 0; s < stages_.size(); ++s) {
+      std::string name = s == 0 ? "ingress+stage0" : "stage" + std::to_string(s);
+      name += " [";
+      name += DeviceName(stages_[s].device);
+      name += "]";
+      options_.trace->SetThreadName(static_cast<uint32_t>(s), std::move(name));
+    }
+    if (options_.watchdog && stages_.size() > 1) {
+      options_.trace->SetThreadName(static_cast<uint32_t>(stages_.size()),
+                                    "watchdog");
     }
   }
 

@@ -27,6 +27,7 @@ class CostDriftTracker;
 class Counter;
 class Gauge;
 class MetricsRegistry;
+class OnlineCalibrator;
 class TraceCollector;
 }  // namespace obs
 
@@ -138,6 +139,13 @@ class LivePipeline {
     // host wall time, so the tracker scale-fits before differencing (the
     // residual error is the stage-time *shape* the planner ranks cuts by).
     const CostModel* cost_model = nullptr;
+    // Closes the loop on the live path (DESIGN.md §12): the drift tracker
+    // forwards each retired batch's device-labeled residuals — normalized,
+    // so the calibrator fits the *relative* CPU-vs-GPU drift — and the
+    // batch boundary to this calibrator.  The owner wires on_commit (e.g.
+    // to re-plan or update its own CostModel) and must keep the calibrator
+    // alive past Stop().  Requires `metrics` and `cost_model`.
+    obs::OnlineCalibrator* calibrator = nullptr;
   };
 
   struct Stats {

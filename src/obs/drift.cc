@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/recalibrate.h"
 
 namespace dido {
 namespace obs {
@@ -21,11 +22,15 @@ double Mean(const std::deque<double>& window) {
 
 CostDriftTracker::CostDriftTracker(MetricsRegistry* registry,
                                    const Options& options)
-    : options_(options) {
+    : options_(options), registry_(registry) {
   DIDO_CHECK(registry != nullptr);
   batches_counter_ = registry->GetCounter(
       options_.prefix + "_batches_total",
       "batches with prediction-vs-observation drift samples");
+  skipped_samples_counter_ = registry->GetCounter(
+      options_.prefix + "_skipped_samples_total",
+      "drift samples dropped: empty/mismatched stage vectors, all-zero "
+      "sums, or non-positive stage observations");
   tmax_error_gauge_ = registry->GetGauge(
       options_.prefix + "_tmax_abs_rel_error",
       "rolling |T_max predicted - observed| / observed (paper Fig. 9)");
@@ -45,18 +50,50 @@ void CostDriftTracker::PushWindowed(std::deque<double>* window, double value) {
   while (window->size() > options_.window) window->pop_front();
 }
 
+AtomicHistogram* CostDriftTracker::ResidualHistogram(size_t stage,
+                                                     Device device) {
+  {
+    MutexLock lock(mu_);
+    auto it = residual_hists_.find({stage, device});
+    if (it != residual_hists_.end()) return it->second;
+  }
+  // Registry find-or-create is idempotent, so a racing resolution of the
+  // same lane lands on the same histogram.
+  AtomicHistogram* hist = registry_->GetHistogram(
+      MetricName(options_.prefix + "_stage_abs_rel_error_pct",
+                 {{"stage", std::to_string(stage)},
+                  {"device", DeviceName(device)}}),
+      "per-stage |predicted - observed| / observed, percent");
+  MutexLock lock(mu_);
+  residual_hists_[{stage, device}] = hist;
+  return hist;
+}
+
 void CostDriftTracker::ObserveBatch(
     const std::vector<double>& predicted_stage_us,
     const std::vector<double>& observed_stage_us) {
+  ObserveBatch(predicted_stage_us, observed_stage_us, {});
+}
+
+void CostDriftTracker::ObserveBatch(
+    const std::vector<double>& predicted_stage_us,
+    const std::vector<double>& observed_stage_us,
+    const std::vector<Device>& stage_devices) {
+  const bool labeled = !stage_devices.empty();
   if (predicted_stage_us.empty() ||
-      predicted_stage_us.size() != observed_stage_us.size()) {
+      predicted_stage_us.size() != observed_stage_us.size() ||
+      (labeled && stage_devices.size() != predicted_stage_us.size())) {
+    skipped_samples_counter_->Add(1);
     return;
   }
   const double observed_sum = std::accumulate(observed_stage_us.begin(),
                                               observed_stage_us.end(), 0.0);
   const double predicted_sum = std::accumulate(predicted_stage_us.begin(),
                                                predicted_stage_us.end(), 0.0);
-  if (!(observed_sum > 0.0) || !(predicted_sum > 0.0)) return;
+  if (!(observed_sum > 0.0) || !(predicted_sum > 0.0)) {
+    skipped_samples_counter_->Add(1);
+    return;
+  }
 
   // Scale-free mode (live pipeline): fit the single scalar that maps the
   // simulated-APU prediction onto the host timeline, then measure the
@@ -72,12 +109,25 @@ void CostDriftTracker::ObserveBatch(
     const double observed = observed_stage_us[i];
     predicted_tmax = std::max(predicted_tmax, predicted);
     observed_tmax = std::max(observed_tmax, observed);
-    if (observed > 0.0) {
-      stage_error_sum += std::fabs(predicted - observed) / observed;
+    if (observed > 0.0 && predicted > 0.0) {
+      const double rel = std::fabs(predicted - observed) / observed;
+      stage_error_sum += rel;
       stages_counted += 1;
+      if (labeled) {
+        ResidualHistogram(i, stage_devices[i])->Record(rel * 100.0);
+        if (options_.calibrator != nullptr) {
+          options_.calibrator->ObserveStage(stage_devices[i], predicted,
+                                            observed);
+        }
+      }
+    } else {
+      skipped_samples_counter_->Add(1);
     }
   }
-  if (!(observed_tmax > 0.0)) return;
+  if (!(observed_tmax > 0.0)) {
+    skipped_samples_counter_->Add(1);
+    return;
+  }
   const double tmax_error =
       std::fabs(predicted_tmax - observed_tmax) / observed_tmax;
   const double stage_error =
@@ -91,6 +141,19 @@ void CostDriftTracker::ObserveBatch(
     MutexLock lock(mu_);
     PushWindowed(&tmax_errors_, tmax_error);
     PushWindowed(&stage_errors_, stage_error);
+    if (labeled) {
+      for (size_t i = 0; i < predicted_stage_us.size(); ++i) {
+        StageResidual residual;
+        residual.stage = i;
+        residual.device = stage_devices[i];
+        residual.predicted_us = predicted_stage_us[i] * scale;
+        residual.observed_us = observed_stage_us[i];
+        residuals_.push_back(residual);
+      }
+      while (residuals_.size() > options_.residual_capacity) {
+        residuals_.pop_front();
+      }
+    }
     observed_batches_ += 1;
     rolling_tmax = Mean(tmax_errors_);
     rolling_stage = Mean(stage_errors_);
@@ -101,6 +164,12 @@ void CostDriftTracker::ObserveBatch(
   stage_error_gauge_->Set(rolling_stage);
   last_predicted_tmax_->Set(predicted_tmax);
   last_observed_tmax_->Set(observed_tmax);
+
+  // Batch boundary for the closed loop: the calibrator counts dwell and
+  // attempts its fit here, after all of this batch's samples landed.
+  if (labeled && options_.calibrator != nullptr) {
+    options_.calibrator->EndBatch();
+  }
 }
 
 double CostDriftTracker::RollingTmaxError() const {
@@ -116,6 +185,11 @@ double CostDriftTracker::RollingStageError() const {
 uint64_t CostDriftTracker::batches() const {
   MutexLock lock(mu_);
   return observed_batches_;
+}
+
+std::vector<StageResidual> CostDriftTracker::ResidualsSnapshot() const {
+  MutexLock lock(mu_);
+  return std::vector<StageResidual>(residuals_.begin(), residuals_.end());
 }
 
 }  // namespace obs

@@ -3,15 +3,30 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
+#include "sim/device_spec.h"
 
 namespace dido {
 namespace obs {
+
+class OnlineCalibrator;
+
+// One retained prediction-vs-observation residual: stage `stage` of a batch
+// ran on `device`, the cost model said `predicted_us`, the executor measured
+// `observed_us` (both after the tracker's normalize fit, when enabled).
+struct StageResidual {
+  size_t stage = 0;
+  Device device = Device::kCpu;
+  double predicted_us = 0.0;
+  double observed_us = 0.0;
+};
 
 // Cost-model drift telemetry: the paper's Fig. 9 metric (prediction error of
 // the APU-aware cost model) computed continuously, per executed batch, and
@@ -29,19 +44,41 @@ namespace obs {
 //  * stage error  — mean over stages of |pred_i - obs_i| / obs_i, which
 //                   localizes *where* the model drifts.
 //
+// When the caller also labels each stage with the device it ran on, the
+// tracker additionally
+//  * retains the raw per-stage residual samples (bounded ring, exported via
+//    ResidualsSnapshot()) instead of only the two rolling means,
+//  * records each stage's absolute relative error into a per-(stage, device)
+//    histogram "<prefix>_stage_abs_rel_error_pct{stage=..,device=..}"
+//    (percent, so the log-spaced buckets resolve the 0.5%..100% range), and
+//  * feeds the samples — and the batch boundary — to an attached
+//    OnlineCalibrator, closing the observability loop (DESIGN.md §12).
+//
+// Every sample the tracker drops (empty/mismatched vectors, all-zero sums,
+// non-positive stage observations) increments
+// "<prefix>_skipped_samples_total" instead of vanishing silently.
+//
 // Units: the simulator path compares microseconds to microseconds.  The
 // live (wall-clock) path compares simulated-APU predictions to host wall
 // times, so it sets `normalize`: both vectors are first scaled by a
 // least-squares scalar fit (predicted *= sum_obs / sum_pred), making the
 // comparison about the *shape* of the stage-time distribution — exactly the
 // signal that decides which pipeline cut wins — rather than about the
-// hardware calibration constant.
+// hardware calibration constant.  The calibrator sees the normalized
+// predictions too: in that mode it fits the *relative* CPU-vs-GPU drift,
+// which is what re-ranks pipeline cuts.
 class CostDriftTracker {
  public:
   struct Options {
     size_t window = 64;        // batches in the rolling mean
     bool normalize = false;    // scale-free comparison (live pipeline)
     std::string prefix = "dido_costmodel";  // metric name prefix
+    // Raw residual samples retained for export (ring buffer).
+    size_t residual_capacity = 512;
+    // When set, every device-labeled stage sample is forwarded with
+    // ObserveStage() and every observed batch ends with EndBatch() — the
+    // tracker is the calibrator's only feed.  Must outlive the tracker.
+    OnlineCalibrator* calibrator = nullptr;
   };
 
   CostDriftTracker(MetricsRegistry* registry, const Options& options);
@@ -49,9 +86,17 @@ class CostDriftTracker {
   CostDriftTracker& operator=(const CostDriftTracker&) = delete;
 
   // Records one executed batch.  Vectors must be the same length (stages of
-  // the batch's configuration); empty or all-zero observations are skipped.
+  // the batch's configuration); empty or all-zero observations are skipped
+  // (counted in "<prefix>_skipped_samples_total").
   void ObserveBatch(const std::vector<double>& predicted_stage_us,
                     const std::vector<double>& observed_stage_us);
+
+  // Device-labeled variant: `stage_devices` names the device each stage ran
+  // on (same length as the time vectors) and unlocks residual retention,
+  // per-(stage, device) histograms, and calibrator forwarding.
+  void ObserveBatch(const std::vector<double>& predicted_stage_us,
+                    const std::vector<double>& observed_stage_us,
+                    const std::vector<Device>& stage_devices);
 
   // Rolling means over the window (also exported as gauges
   // "<prefix>_tmax_abs_rel_error" / "<prefix>_stage_abs_rel_error").
@@ -59,15 +104,28 @@ class CostDriftTracker {
   double RollingStageError() const;
   uint64_t batches() const;
 
+  // Copy of the retained raw residuals, oldest first (at most
+  // Options::residual_capacity entries; empty until a device-labeled batch
+  // is observed).
+  std::vector<StageResidual> ResidualsSnapshot() const;
+
+  // Total samples/batches dropped instead of observed.
+  uint64_t skipped_samples() const { return skipped_samples_counter_->Value(); }
+
  private:
   void PushWindowed(std::deque<double>* window, double value)
       DIDO_REQUIRES(mu_);
+  // Find-or-create the residual histogram of one (stage, device) lane.
+  AtomicHistogram* ResidualHistogram(size_t stage, Device device)
+      DIDO_EXCLUDES(mu_);
 
   const Options options_;
+  MetricsRegistry* const registry_;
   // Metric handles: resolved once in the constructor, immutable afterwards
   // (the pointees are internally thread-safe).
   // dido-analyze: begin-allow(lock): set once at construction, then read-only
   Counter* batches_counter_;
+  Counter* skipped_samples_counter_;
   Gauge* tmax_error_gauge_;
   Gauge* stage_error_gauge_;
   Gauge* last_predicted_tmax_;
@@ -77,6 +135,10 @@ class CostDriftTracker {
   mutable Mutex mu_;
   std::deque<double> tmax_errors_ DIDO_GUARDED_BY(mu_);
   std::deque<double> stage_errors_ DIDO_GUARDED_BY(mu_);
+  std::deque<StageResidual> residuals_ DIDO_GUARDED_BY(mu_);
+  // Lazily resolved per-(stage, device) histogram handles.
+  std::map<std::pair<size_t, Device>, AtomicHistogram*> residual_hists_
+      DIDO_GUARDED_BY(mu_);
   uint64_t observed_batches_ DIDO_GUARDED_BY(mu_) = 0;
 };
 

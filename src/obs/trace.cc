@@ -23,6 +23,16 @@ void TraceCollector::AddSpan(TraceSpan span) {
   spans_.push_back(std::move(span));
 }
 
+void TraceCollector::SetThreadName(uint32_t tid, std::string name) {
+  MutexLock lock(mu_);
+  thread_names_[tid] = std::move(name);
+}
+
+std::map<uint32_t, std::string> TraceCollector::ThreadNames() const {
+  MutexLock lock(mu_);
+  return thread_names_;
+}
+
 size_t TraceCollector::size() const {
   MutexLock lock(mu_);
   return spans_.size();
@@ -72,9 +82,17 @@ std::string TraceJsonString(std::string_view value) {
 
 std::string TraceCollector::RenderChromeTrace() const {
   const std::vector<TraceSpan> spans = Snapshot();
+  const std::map<uint32_t, std::string> names = ThreadNames();
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  // Lane-name metadata first, so viewers label lanes before any span lands.
+  for (const auto& [tid, name] : names) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":" << TraceJsonString(name) << "}}";
+  }
   for (const TraceSpan& span : spans) {
     if (!first) os << ',';
     first = false;

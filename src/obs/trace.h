@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,6 +63,15 @@ class TraceCollector {
   // are buffered or while disabled.
   void AddSpan(TraceSpan span);
 
+  // Names a tid lane: rendered as a Chrome trace_event "thread_name"
+  // metadata event (ph:"M"), so chrome://tracing / Perfetto label the lane
+  // (e.g. "stage1 [GPU]", "watchdog", "oplog-writer") instead of a bare
+  // number.  Re-naming a lane replaces the previous name.  Unlike spans,
+  // names are topology, not samples: they survive Clear() and ignore the
+  // capacity bound and the enabled flag.
+  void SetThreadName(uint32_t tid, std::string name);
+  std::map<uint32_t, std::string> ThreadNames() const;
+
   size_t size() const;
   uint64_t dropped() const;
   void Clear();
@@ -77,6 +87,7 @@ class TraceCollector {
   std::atomic<bool> enabled_{true};
   mutable Mutex mu_;
   std::vector<TraceSpan> spans_ DIDO_GUARDED_BY(mu_);
+  std::map<uint32_t, std::string> thread_names_ DIDO_GUARDED_BY(mu_);
   uint64_t dropped_ DIDO_GUARDED_BY(mu_) = 0;
 };
 

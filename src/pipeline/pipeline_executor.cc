@@ -76,6 +76,14 @@ PipelineExecutor::PipelineExecutor(KvRuntime* runtime, const ApuSpec& spec,
   DIDO_CHECK(runtime != nullptr);
 }
 
+void PipelineExecutor::SetDeviceDrift(Device device, double scale) {
+  DIDO_CHECK_GT(scale, 0.0);
+  CalibrationOverlay drift = timing_.calibration();
+  (device == Device::kCpu ? drift.cpu_scale : drift.gpu_scale) = scale;
+  drift.generation += 1;
+  timing_.set_calibration(drift);
+}
+
 Micros PipelineExecutor::IntervalFor(size_t num_stages) const {
   if (options_.interval_us > 0.0) return options_.interval_us;
   return SchedulingIntervalUs(options_.latency_cap_us, num_stages);

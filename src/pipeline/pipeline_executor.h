@@ -95,6 +95,18 @@ class PipelineExecutor {
   const TimingModel& timing() const { return timing_; }
   KvRuntime& runtime() { return *runtime_; }
 
+  // Ground-truth device drift: from the next batch on, every simulated task
+  // on `device` runs `scale` times slower — the "real hardware" diverging
+  // from the cost model's calibration (thermal throttling, a co-runner,
+  // DVFS).  This is what the drifting-device benches inject and the online
+  // calibrator (DESIGN.md §12) is expected to recover; the drift flows
+  // through stage times, DRAM intensities, and thief-side steal costs
+  // coherently because it lives in the executor's own TimingModel.
+  void SetDeviceDrift(Device device, double scale);
+  double device_drift(Device device) const {
+    return timing_.calibration().scale(device);
+  }
+
   // Publishes simulator telemetry under the dido_sim_* prefix: per-stage
   // simulated times and T_max histograms, batch and steal counters.  When
   // `trace` is set, every executed batch's stages and tasks become spans on

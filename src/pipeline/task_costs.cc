@@ -211,15 +211,19 @@ Micros StageTimeNoInterference(const StageSpec& stage,
           ? (stage.cpu_cores > 0 ? stage.cpu_cores : spec.cpu.cores)
           : spec.gpu.cores;
 
+  // RV/SD are fixed CPU tasks; a calibration drift of the CPU slows their
+  // per-frame unit costs like any other CPU work (the overlay models the
+  // whole device running k times slower).
+  const double cpu_scale = timing.calibration().scale(Device::kCpu);
   for (TaskKind task : stage.tasks) {
     const double items = TaskItemCount(task, profile);
     if (items <= 0.0) continue;
     if (task == TaskKind::kRv) {
-      total += items * spec.rv_us_per_frame / cores;
+      total += cpu_scale * items * spec.rv_us_per_frame / cores;
       continue;
     }
     if (task == TaskKind::kSd) {
-      total += items * spec.sd_us_per_frame / cores;
+      total += cpu_scale * items * spec.sd_us_per_frame / cores;
       continue;
     }
     const AccessCounts counts =

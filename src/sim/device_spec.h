@@ -37,6 +37,24 @@ struct DeviceSpec {
   double CyclesToUs(double cycles) const { return cycles / (freq_ghz * 1e3); }
 };
 
+// Online-calibration overlay (DESIGN.md §12): bounded per-device multipliers
+// the closed observability loop fits from predicted-vs-observed residuals and
+// applies on top of the static ApuSpec calibration.  A scale of 1.25 for the
+// GPU means "the real device is currently running 25% slower than the spec's
+// constants say" — thermal throttling, a co-runner, DVFS.  The generation
+// counter increments on every committed re-fit so planners and dashboards can
+// tell which calibration a prediction was made under.
+struct CalibrationOverlay {
+  double cpu_scale = 1.0;
+  double gpu_scale = 1.0;
+  uint64_t generation = 0;
+
+  double scale(Device d) const {
+    return d == Device::kCpu ? cpu_scale : gpu_scale;
+  }
+  bool identity() const { return cpu_scale == 1.0 && gpu_scale == 1.0; }
+};
+
 // Parameters of the shared memory system and cross-device interference.
 struct MemorySystemSpec {
   // Aggregate DRAM random-access throughput in accesses per microsecond.

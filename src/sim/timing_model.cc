@@ -21,6 +21,10 @@ double TimingModel::GpuHideFactor(uint64_t n, int cus) const {
 Micros TimingModel::TaskTime(Device device, const AccessCounts& per_query,
                              uint64_t n, int cores) const {
   if (n == 0) return 0.0;
+  // The calibration overlay scales the whole device time (compute, memory,
+  // launch overhead alike): it models "this device currently runs k times
+  // slower than its spec constants", not a shift in any single constant.
+  const double scale = calibration_.scale(device);
   const DeviceSpec& dev = spec_.device(device);
   if (cores <= 0) cores = dev.cores;
   cores = std::min(cores, dev.cores);
@@ -44,7 +48,7 @@ Micros TimingModel::TaskTime(Device device, const AccessCounts& per_query,
                           dev.mem_level_parallelism;
     const double cache_us =
         q_per_core * per_query.cache_accesses * (dev.cache_latency_ns / 1e3);
-    return std::max(compute_us + mem_us + cache_us, bandwidth_floor_us);
+    return scale * std::max(compute_us + mem_us + cache_us, bandwidth_floor_us);
   }
 
   // GPU: wavefront execution over `cores` compute units.
@@ -64,8 +68,8 @@ Micros TimingModel::TaskTime(Device device, const AccessCounts& per_query,
       mem_hide;
   const double cache_us =
       q_per_cu * per_query.cache_accesses * (dev.cache_latency_ns / 1e3) / hide;
-  return dev.launch_overhead_us +
-         std::max(compute_us + mem_us + cache_us, bandwidth_floor_us);
+  return scale * (dev.launch_overhead_us +
+                  std::max(compute_us + mem_us + cache_us, bandwidth_floor_us));
 }
 
 double TimingModel::Intensity(const AccessCounts& per_query, uint64_t n,

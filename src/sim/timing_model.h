@@ -46,6 +46,17 @@ class TimingModel {
 
   const ApuSpec& spec() const { return spec_; }
 
+  // Online-calibration overlay: every TaskTime on device d is multiplied by
+  // calibration().scale(d).  The cost model installs fitted scales here (the
+  // closed loop correcting its Eq. 1 constants); the pipeline simulator
+  // installs ground-truth drift here (the "real" device diverging from the
+  // model).  Defaults to identity — untouched callers see the paper's model
+  // bit for bit.
+  void set_calibration(const CalibrationOverlay& overlay) {
+    calibration_ = overlay;
+  }
+  const CalibrationOverlay& calibration() const { return calibration_; }
+
   // Execution time of one task processing `n` queries on `device`, without
   // interference.  `cores` is the number of CPU cores (or GPU CUs) granted
   // to the stage; pass 0 for "all cores of the device".
@@ -76,6 +87,7 @@ class TimingModel {
 
  private:
   ApuSpec spec_;
+  CalibrationOverlay calibration_;
 };
 
 }  // namespace dido

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "core/system_runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dido {
 namespace {
@@ -73,6 +75,67 @@ TEST(DidoStoreTest, AdaptationReplansAndImproves) {
   EXPECT_FALSE(store.current_config() == initial);
   const BatchResult after = store.ServeBatch(*session.source, 2000);
   EXPECT_GT(after.throughput_mops, before.throughput_mops);
+}
+
+TEST(DidoStoreTest, ClosedLoopRecoversFromDeviceDrift) {
+  // Declared before the store: ~KvRuntime unregisters its collectors.
+  obs::MetricsRegistry metrics;
+  obs::TraceCollector trace;
+  DidoOptions options = SmallStore();
+  options.recalibrate = true;
+  DidoStore store(options);
+  store.AttachObservability(&metrics, &trace);
+  const uint64_t objects = store.Preload(DatasetK16(), 10000);
+  WorkloadSession session(
+      MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf), objects, 1);
+  ASSERT_NE(store.calibrator(), nullptr);
+  ASSERT_NE(store.drift_tracker(), nullptr);
+
+  for (int i = 0; i < 20; ++i) store.ServeBatch(*session.source, 2000);
+  // The "hardware" drifts: every GPU task now runs 1.6x slower than the
+  // cost model's calibration believes.
+  store.executor().SetDeviceDrift(Device::kGpu, 1.6);
+  for (int i = 0; i < 40; ++i) store.ServeBatch(*session.source, 2000);
+  const double error_open = store.drift_tracker()->RollingTmaxError();
+  const uint64_t replans_mid = store.replan_count();
+  for (int i = 0; i < 260; ++i) store.ServeBatch(*session.source, 2000);
+
+  // The calibrator committed at least one generation, the fitted GPU scale
+  // moved toward the injected drift, and the rolling prediction error
+  // shrank from the open-loop level.
+  const CalibrationOverlay overlay = store.calibrator()->overlay();
+  EXPECT_GT(overlay.generation, 0u);
+  EXPECT_GT(overlay.gpu_scale, 1.2);
+  EXPECT_LT(store.drift_tracker()->RollingTmaxError(), error_open);
+  // A >10% committed shift forces a re-plan even with a pinned workload.
+  EXPECT_GT(store.replan_count(), replans_mid);
+  // Residual samples are retained device-labeled, and the calibration state
+  // is visible in the exposition plus the trace.
+  EXPECT_FALSE(store.drift_tracker()->ResidualsSnapshot().empty());
+  const std::string text = metrics.RenderPrometheus();
+  EXPECT_TRUE(text.find("dido_recal_generation") != std::string::npos);
+  EXPECT_TRUE(text.find("dido_recal_scale{device=\"GPU\"}") !=
+              std::string::npos);
+  bool saw_recal_span = false;
+  for (const obs::TraceSpan& span : trace.Snapshot()) {
+    if (span.category == "calibration") saw_recal_span = true;
+  }
+  EXPECT_TRUE(saw_recal_span);
+}
+
+TEST(DidoStoreTest, RecalibrationOffKeepsModelUncorrected) {
+  obs::MetricsRegistry metrics;
+  DidoOptions options = SmallStore();
+  options.recalibrate = false;
+  DidoStore store(options);
+  store.AttachObservability(&metrics);
+  const uint64_t objects = store.Preload(DatasetK16(), 10000);
+  WorkloadSession session(
+      MakeWorkload(DatasetK16(), 95, KeyDistribution::kZipf), objects, 1);
+  EXPECT_EQ(store.calibrator(), nullptr);
+  store.executor().SetDeviceDrift(Device::kGpu, 1.6);
+  for (int i = 0; i < 80; ++i) store.ServeBatch(*session.source, 2000);
+  EXPECT_TRUE(store.cost_model().calibration().identity());
 }
 
 TEST(DidoStoreTest, NonAdaptiveKeepsInitialConfig) {

@@ -109,6 +109,38 @@ TEST(CostModelTest, PredictionTracksExecutorMeasurement) {
   EXPECT_LT(error, 0.20);
 }
 
+TEST(CostModelTest, CalibrationOverlayScalesDeviceTimes) {
+  CostModel model(DefaultKaveriSpec(), CostModelOptions());
+  const PipelineConfig config = PipelineConfig::MegaKv();
+  const Prediction base =
+      model.PredictAtBatchSize(config, TypicalProfile(), 4096);
+
+  CalibrationOverlay overlay;
+  overlay.gpu_scale = 1.5;
+  overlay.generation = 1;
+  model.ApplyCalibration(overlay);
+  EXPECT_EQ(model.calibration().generation, 1u);
+  const Prediction scaled =
+      model.PredictAtBatchSize(config, TypicalProfile(), 4096);
+
+  ASSERT_EQ(base.stages.size(), scaled.stages.size());
+  for (size_t s = 0; s < base.stages.size(); ++s) {
+    if (base.stages[s].device == Device::kGpu) {
+      // Pre-steal, pre-interference effects aside: the GPU stage must get
+      // slower; interference coupling keeps the exact factor below 1.5 only
+      // through the grid, never below the un-scaled time.
+      EXPECT_GT(scaled.stages[s].time_us, base.stages[s].time_us);
+    }
+  }
+  EXPECT_GE(scaled.t_max, base.t_max);
+
+  // Identity overlay restores the original predictions exactly.
+  model.ApplyCalibration(CalibrationOverlay());
+  const Prediction back =
+      model.PredictAtBatchSize(config, TypicalProfile(), 4096);
+  EXPECT_DOUBLE_EQ(back.t_max, base.t_max);
+}
+
 // --------------------------------------------------------- ConfigSearch --
 
 TEST(ConfigSearchTest, ReturnsSortedValidConfigs) {

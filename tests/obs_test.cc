@@ -13,7 +13,9 @@
 
 #include "obs/drift.h"
 #include "obs/metrics.h"
+#include "obs/recalibrate.h"
 #include "obs/trace.h"
+#include "sim/timing_model.h"
 
 namespace dido {
 namespace obs {
@@ -411,6 +413,223 @@ TEST(ObsDriftTest, ConcurrentObserversStayConsistent) {
   EXPECT_EQ(tracker.batches(),
             static_cast<uint64_t>(kThreads) * kBatchesPerThread);
   EXPECT_NEAR(tracker.RollingTmaxError(), 0.2, 1e-9);
+}
+
+TEST(ObsDriftTest, SkippedSamplesAreCountedNotSilent) {
+  MetricsRegistry registry;
+  CostDriftTracker::Options options;
+  options.prefix = "dido_t7";
+  CostDriftTracker tracker(&registry, options);
+  tracker.ObserveBatch({}, {});                  // empty
+  tracker.ObserveBatch({100.0}, {100.0, 50.0});  // length mismatch
+  tracker.ObserveBatch({100.0, 50.0}, {0.0, 0.0});  // all-zero observations
+  EXPECT_EQ(tracker.batches(), 0u);
+  EXPECT_EQ(tracker.skipped_samples(), 3u);
+  EXPECT_TRUE(Contains(registry.RenderPrometheus(),
+                       "dido_t7_skipped_samples_total 3"));
+}
+
+TEST(ObsDriftTest, RetainsDeviceLabeledResidualsAndHistograms) {
+  MetricsRegistry registry;
+  CostDriftTracker::Options options;
+  options.prefix = "dido_t8";
+  options.residual_capacity = 3;
+  CostDriftTracker tracker(&registry, options);
+  tracker.ObserveBatch({100.0, 200.0}, {110.0, 150.0},
+                       {Device::kCpu, Device::kGpu});
+  tracker.ObserveBatch({100.0, 200.0}, {120.0, 160.0},
+                       {Device::kCpu, Device::kGpu});
+  const std::vector<StageResidual> residuals = tracker.ResidualsSnapshot();
+  ASSERT_EQ(residuals.size(), 3u);  // capacity-bounded, oldest dropped
+  EXPECT_EQ(residuals.back().stage, 1u);
+  EXPECT_EQ(residuals.back().device, Device::kGpu);
+  EXPECT_DOUBLE_EQ(residuals.back().predicted_us, 200.0);
+  EXPECT_DOUBLE_EQ(residuals.back().observed_us, 160.0);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(
+      text,
+      "dido_t8_stage_abs_rel_error_pct_count{stage=\"0\",device=\"CPU\"} 2"));
+  EXPECT_TRUE(Contains(
+      text,
+      "dido_t8_stage_abs_rel_error_pct_count{stage=\"1\",device=\"GPU\"} 2"));
+  // Unlabeled batches keep working and retain nothing.
+  tracker.ObserveBatch({100.0}, {100.0});
+  EXPECT_EQ(tracker.ResidualsSnapshot().size(), 3u);
+}
+
+// --------------------------------------------------------- recalibrate --
+
+// Feeds the calibrator `batches` rounds of synthetic residuals where the
+// true hardware runs `cpu_truth`/`gpu_truth` slower than the uncalibrated
+// model, with optional multiplicative noise on the observations.  The
+// predictions include the calibrator's current overlay, exactly like the
+// cost model's would.
+void DriveSyntheticDrift(OnlineCalibrator* calibrator, int batches,
+                         double cpu_truth, double gpu_truth,
+                         double noise_amplitude = 0.0) {
+  for (int b = 0; b < batches; ++b) {
+    const CalibrationOverlay overlay = calibrator->overlay();
+    const double noise = TimingModel::NoiseFactor(7, b, noise_amplitude);
+    // Two stages per device, distinct base times.
+    calibrator->ObserveStage(Device::kCpu, 100.0 * overlay.cpu_scale,
+                             100.0 * cpu_truth * noise);
+    calibrator->ObserveStage(Device::kCpu, 40.0 * overlay.cpu_scale,
+                             40.0 * cpu_truth * noise);
+    calibrator->ObserveStage(Device::kGpu, 150.0 * overlay.gpu_scale,
+                             150.0 * gpu_truth * noise);
+    calibrator->ObserveStage(Device::kGpu, 60.0 * overlay.gpu_scale,
+                             60.0 * gpu_truth * noise);
+    calibrator->EndBatch();
+  }
+}
+
+TEST(ObsRecalibrateTest, ConvergesOnSyntheticDrift) {
+  OnlineCalibrator::Options options;
+  OnlineCalibrator calibrator(options);
+  EXPECT_TRUE(calibrator.overlay().identity());
+  DriveSyntheticDrift(&calibrator, 400, 1.15, 1.6);
+  const CalibrationOverlay overlay = calibrator.overlay();
+  EXPECT_GT(overlay.generation, 0u);
+  EXPECT_NEAR(overlay.cpu_scale, 1.15, 0.05);
+  EXPECT_NEAR(overlay.gpu_scale, 1.6, 0.07);
+  // A 60% GPU drift re-ranks pipeline cuts: the replan request fired.
+  EXPECT_TRUE(calibrator.TakeReplanRequest());
+  EXPECT_FALSE(calibrator.TakeReplanRequest());  // one-shot until next commit
+}
+
+TEST(ObsRecalibrateTest, ConvergedLoopStopsCommitting) {
+  OnlineCalibrator::Options options;
+  OnlineCalibrator calibrator(options);
+  DriveSyntheticDrift(&calibrator, 400, 1.15, 1.6);
+  const uint64_t settled = calibrator.generation();
+  EXPECT_GT(settled, 0u);
+  // Once converged, further identical batches sit inside the hysteresis
+  // band: no new generations.
+  DriveSyntheticDrift(&calibrator, 200, 1.15, 1.6);
+  EXPECT_EQ(calibrator.generation(), settled);
+}
+
+TEST(ObsRecalibrateTest, HysteresisHoldsUnderExecutorNoise) {
+  MetricsRegistry registry;
+  OnlineCalibrator::Options options;
+  options.prefix = "dido_recal_t1";
+  OnlineCalibrator calibrator(options);
+  calibrator.AttachObservability(&registry, nullptr);
+  // No real drift — only the executor's +-8% per-batch jitter
+  // (TimingModel::NoiseFactor at the ExecutorOptions default amplitude).
+  // The windowed fit averages it out; calibration must not flap.
+  DriveSyntheticDrift(&calibrator, 600, 1.0, 1.0, 0.08);
+  EXPECT_EQ(calibrator.generation(), 0u);
+  EXPECT_TRUE(calibrator.overlay().identity());
+  EXPECT_FALSE(calibrator.TakeReplanRequest());
+  // The fits ran and were held, observable in the exposition.
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "dido_recal_t1_held_fits_total"));
+  EXPECT_TRUE(Contains(text, "dido_recal_t1_commits_total 0"));
+}
+
+TEST(ObsRecalibrateTest, StepClampAndBoundsLimitEachCommit) {
+  MetricsRegistry registry;
+  OnlineCalibrator::Options options;
+  options.prefix = "dido_recal_t2";
+  options.max_scale = 2.0;
+  OnlineCalibrator calibrator(options);
+  calibrator.AttachObservability(&registry, nullptr);
+  // Enough samples for exactly one fit: a 3x drift must be clamped to one
+  // max_step (25%) step.
+  DriveSyntheticDrift(&calibrator, static_cast<int>(options.window / 2),
+                      1.0, 3.0);
+  ASSERT_EQ(calibrator.generation(), 1u);
+  EXPECT_NEAR(calibrator.overlay().gpu_scale, 1.25, 1e-9);
+  EXPECT_DOUBLE_EQ(calibrator.overlay().cpu_scale, 1.0);
+  // Driven to steady state the scale pins at max_scale, not at the 3x truth.
+  DriveSyntheticDrift(&calibrator, 1500, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(calibrator.overlay().gpu_scale, options.max_scale);
+  EXPECT_TRUE(Contains(registry.RenderPrometheus(),
+                       "dido_recal_t2_clamped_steps_total"));
+}
+
+TEST(ObsRecalibrateTest, CommitEmitsGaugesCallbackAndTraceSpan) {
+  MetricsRegistry registry;
+  TraceCollector trace;
+  OnlineCalibrator::Options options;
+  options.prefix = "dido_recal_t3";
+  int commits = 0;
+  CalibrationOverlay last;
+  options.on_commit = [&](const CalibrationOverlay& overlay) {
+    commits += 1;
+    last = overlay;
+  };
+  OnlineCalibrator calibrator(options);
+  calibrator.AttachObservability(&registry, &trace);
+  DriveSyntheticDrift(&calibrator, 200, 1.0, 1.5);
+  EXPECT_GT(commits, 0);
+  EXPECT_EQ(last.generation, calibrator.generation());
+  EXPECT_NEAR(last.gpu_scale, 1.5, 0.07);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_TRUE(Contains(text, "dido_recal_t3_generation"));
+  EXPECT_TRUE(Contains(text, "dido_recal_t3_scale{device=\"CPU\"}"));
+  EXPECT_TRUE(Contains(text, "dido_recal_t3_scale{device=\"GPU\"}"));
+  EXPECT_TRUE(Contains(text, "dido_recal_t3_prefit_abs_rel_error"));
+  EXPECT_TRUE(Contains(text, "dido_recal_t3_postfit_abs_rel_error"));
+  // Every commit is one span on the calibration lane, with the fitted
+  // scales in its args.
+  int spans = 0;
+  for (const TraceSpan& span : trace.Snapshot()) {
+    if (span.category != "calibration") continue;
+    spans += 1;
+    EXPECT_EQ(span.name, "recalibrate");
+    EXPECT_TRUE(Contains(span.args_json, "generation"));
+    EXPECT_TRUE(Contains(span.args_json, "gpu_scale"));
+  }
+  EXPECT_EQ(spans, commits);
+  EXPECT_EQ(trace.ThreadNames().count(98), 1u);
+}
+
+TEST(ObsRecalibrateTest, TrackerForwardsResidualsIntoClosedLoop) {
+  MetricsRegistry registry;
+  OnlineCalibrator::Options recal_options;
+  OnlineCalibrator calibrator(recal_options);
+  CostDriftTracker::Options options;
+  options.prefix = "dido_t9";
+  options.calibrator = &calibrator;
+  CostDriftTracker tracker(&registry, options);
+  // The "hardware" runs the GPU 1.5x slower than predicted; the tracker is
+  // the calibrator's only feed.
+  for (int b = 0; b < 300; ++b) {
+    const CalibrationOverlay overlay = calibrator.overlay();
+    tracker.ObserveBatch(
+        {80.0 * overlay.cpu_scale, 120.0 * overlay.gpu_scale},
+        {80.0, 180.0}, {Device::kCpu, Device::kGpu});
+  }
+  EXPECT_GT(calibrator.generation(), 0u);
+  EXPECT_NEAR(calibrator.overlay().gpu_scale, 1.5, 0.07);
+  EXPECT_NEAR(calibrator.overlay().cpu_scale, 1.0, 0.05);
+}
+
+// --------------------------------------------------------- thread names --
+
+TEST(ObsTraceTest, ThreadNamesRenderAsMetadataEvents) {
+  TraceCollector trace;
+  trace.SetThreadName(0, "ingress+stage0 [CPU]");
+  trace.SetThreadName(99, "oplog-writer");
+  TraceSpan span;
+  span.name = "stage0";
+  span.category = "stage";
+  trace.AddSpan(span);
+  const std::string json = trace.RenderChromeTrace();
+  EXPECT_TRUE(Contains(json,
+                       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                       "\"tid\":0,\"args\":{\"name\":\"ingress+stage0 "
+                       "[CPU]\"}}"));
+  EXPECT_TRUE(Contains(json, "\"tid\":99"));
+  // Re-naming replaces; names are topology and survive Clear().
+  trace.SetThreadName(99, "durability");
+  trace.Clear();
+  const std::string after = trace.RenderChromeTrace();
+  EXPECT_TRUE(Contains(after, "\"durability\""));
+  EXPECT_FALSE(Contains(after, "oplog-writer"));
+  EXPECT_FALSE(Contains(after, "\"ph\":\"X\""));  // spans cleared
 }
 
 }  // namespace
